@@ -1,0 +1,61 @@
+// Command cfdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cfdbench -exp all            # every experiment
+//	cfdbench -exp fig18          # one experiment
+//	cfdbench -exp fig18,fig24    # several
+//	cfdbench -list               # list experiment IDs
+//	cfdbench -scale 0.2          # reduce workload sizes (1.0 = full)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cfd/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment IDs (comma separated) or 'all'")
+		scale = flag.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.AllExperiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []*harness.Experiment
+	if *exp == "all" {
+		exps = harness.AllExperiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cfdbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	r := harness.NewRunner(*scale)
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		if err := e.Run(r, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cfdbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,125 @@
+// Command cfdsim runs one workload variant on the cycle-level CFD core and
+// prints its statistics.
+//
+// Usage:
+//
+//	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
+//	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
+//	       [-pipeview N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cfd/internal/config"
+	"cfd/internal/pipeline"
+	"cfd/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "soplexlike", "workload name (see -list)")
+		variant  = flag.String("variant", "base", "variant: base, cfd, cfd+, dfd, cfd+dfd, cfdtq, cfdbq, cfdbqtq")
+		n        = flag.Int64("n", 0, "input size in work items (0 = workload default)")
+		window   = flag.Int("window", 168, "ROB size (168 = paper baseline; larger windows scale IQ/LQ/SQ)")
+		depth    = flag.Int("depth", 10, "minimum fetch-to-execute latency in cycles")
+		bqmiss   = flag.String("bqmiss", "spec", "BQ miss policy: spec (speculative pop) or stall")
+		list     = flag.Bool("list", false, "list workloads and variants")
+		dumpAsm  = flag.Bool("dump-asm", false, "print the program disassembly and exit")
+		branches = flag.Bool("branches", false, "print per-static-branch statistics")
+		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-16s %-40s variants=%v defaultN=%d\n", s.Name, s.Analog, s.Variants, s.DefaultN)
+		}
+		return
+	}
+
+	s, ok := workload.ByName(*name)
+	if !ok {
+		fatalf("unknown workload %q (use -list)", *name)
+	}
+	size := *n
+	if size == 0 {
+		size = s.DefaultN
+	}
+	p, m, err := s.Build(workload.Variant(*variant), size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dumpAsm {
+		fmt.Print(p.Disassemble())
+		return
+	}
+
+	cfg := config.Scaled(*window).WithDepth(*depth)
+	if *bqmiss == "stall" {
+		cfg.BQMissPolicy = config.StallFetch
+	}
+	var popts []pipeline.Option
+	if *pipeview > 0 {
+		popts = append(popts, pipeline.WithTrace(*pipeview))
+	}
+	core, err := pipeline.New(cfg, p, m, popts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := core.Run(0); err != nil {
+		fatalf("%v", err)
+	}
+
+	st := core.Stats
+	fmt.Printf("workload        %s/%s (n=%d) on %s\n", s.Name, *variant, size, cfg.Name)
+	fmt.Printf("cycles          %d\n", st.Cycles)
+	fmt.Printf("retired         %d (IPC %.3f)\n", st.Retired, st.IPC())
+	fmt.Printf("fetched         %d (wrong-path %d)\n", st.Fetched, st.Fetched-st.Retired)
+	fmt.Printf("cond branches   %d, mispredicts %d (MPKI %.2f)\n", st.CondBranches, st.Mispredicts, st.MPKI())
+	fmt.Printf("recoveries      %d resolve-time, %d retire-time\n", st.Recoveries, st.RetireRecoveries)
+	fmt.Printf("BQ              pops %d (fetch-resolved %d, spec %d, late mispredict %d)\n",
+		st.BQPops, st.BQResolvedAtFetch, st.BQMisses, st.BQLateMispredict)
+	fmt.Printf("BQ stalls       full %d cycles, miss %d cycles\n", st.BQFullStalls, st.BQMissStalls)
+	fmt.Printf("TQ              pops %d, TCR branches %d, miss stalls %d cycles\n",
+		st.TQPops, st.TCRBranches, st.TQMissStalls)
+	fmt.Printf("mispred levels  NoData %d, L1 %d, L2 %d, L3 %d, MEM %d\n",
+		st.MispredByLevel[0], st.MispredByLevel[1], st.MispredByLevel[2],
+		st.MispredByLevel[3], st.MispredByLevel[4])
+	fmt.Printf("energy          %.0f pJ total (%.0f dynamic, %.0f queue structures)\n",
+		core.Meter.Total(), core.Meter.Dynamic(), core.Meter.QueueEnergy())
+
+	if *branches {
+		fmt.Println("\nper-branch statistics (retired):")
+		pcs := make([]uint64, 0, len(st.PerBranch))
+		for pc := range st.PerBranch {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool {
+			return st.PerBranch[pcs[i]].Mispredicts > st.PerBranch[pcs[j]].Mispredicts
+		})
+		for _, pc := range pcs {
+			bs := st.PerBranch[pc]
+			name := p.At(pc).String()
+			if note, ok := p.Notes[pc]; ok {
+				name = note.Name
+			}
+			fmt.Printf("  pc %-6d %-40s execs %-9d taken %5.1f%%  missrate %5.2f%%\n",
+				pc, name, bs.Execs,
+				100*float64(bs.Taken)/float64(bs.Execs),
+				100*float64(bs.Mispredicts)/float64(bs.Execs))
+		}
+	}
+	if *pipeview > 0 {
+		fmt.Println()
+		fmt.Print(core.Pipeview())
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cfdsim: "+format+"\n", args...)
+	os.Exit(1)
+}

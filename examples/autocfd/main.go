@@ -1,0 +1,117 @@
+// Automatic control-flow decoupling: the compiler-pass analog (paper
+// §III-B). A loop is described as a structured kernel — predicate slice,
+// control-dependent region, induction step — and the pass verifies
+// separability by dataflow analysis, then emits the baseline, CFD, CFD+
+// (value queue), and DFD (prefetch) variants automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cfd"
+	"cfd/internal/isa"
+)
+
+const n = 30_000
+
+func kernel() *cfd.Kernel {
+	return &cfd.Kernel{
+		Name: "auto-demo",
+		Init: []cfd.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 0x100000}, // a[] cursor
+			{Op: isa.ADDI, Rd: 2, Rs1: 0, Imm: 0x800000}, // out cursor
+			{Op: isa.ADDI, Rd: 3, Rs1: 0, Imm: 500},      // threshold
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: n},        // trip count
+			{Op: isa.ADDI, Rd: 12, Rs1: 0, Imm: 0},       // accumulator
+		},
+		Slice: []cfd.Inst{
+			{Op: isa.LD, Rd: 7, Rs1: 1, Imm: 0},
+			{Op: isa.SLT, Rd: 8, Rs1: 3, Rs2: 7},
+		},
+		CD: []cfd.Inst{
+			{Op: isa.SHLI, Rd: 9, Rs1: 7, Imm: 1},
+			{Op: isa.ADDI, Rd: 9, Rs1: 9, Imm: 17},
+			{Op: isa.SD, Rs1: 2, Rs2: 9, Imm: 0},
+			{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 9},
+			{Op: isa.XOR, Rd: 10, Rs1: 12, Rs2: 7},
+			{Op: isa.SHRI, Rd: 11, Rs1: 10, Imm: 2},
+			{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 11},
+		},
+		Step: []cfd.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8},
+			{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 8},
+		},
+		Pred:    8,
+		Counter: 4,
+		Scratch: []isa.Reg{20, 21, 22, 23},
+		NoAlias: true,
+		Note:    "a[i] > threshold",
+	}
+}
+
+func data() *cfd.Memory {
+	rng := rand.New(rand.NewSource(7))
+	m := cfd.NewMemory()
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1000))
+	}
+	m.WriteUint64s(0x100000, vals)
+	return m
+}
+
+func main() {
+	k := kernel()
+	cls, err := k.Classify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("separability analysis: %s\n", cls)
+	fmt.Printf("values the CD region consumes from the slice: %d (routed via VQ or recomputed)\n\n",
+		1 /* r7 = a[i] */)
+
+	var baseCycles uint64
+	schemes := []struct {
+		name  string
+		build func() (*cfd.Program, error)
+	}{
+		{"base", k.Base},
+		{"auto-cfd", func() (*cfd.Program, error) { return k.CFD(false) }},
+		{"auto-cfd+", func() (*cfd.Program, error) { return k.CFD(true) }},
+		{"auto-dfd", k.DFD},
+	}
+	var goldenMem *cfd.Memory
+	for _, s := range schemes {
+		p, err := s.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		core, err := cfd.NewCore(cfd.Baseline(), p, data())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.Run(0); err != nil {
+			log.Fatal(err)
+		}
+		if baseCycles == 0 {
+			baseCycles = core.Stats.Cycles
+			goldenMem = core.Mem()
+		} else if !goldenMem.Equal(core.Mem()) {
+			log.Fatalf("%s computed different results!", s.name)
+		}
+		fmt.Printf("%-10s cycles %8d  IPC %5.3f  MPKI %6.2f  speedup %.2fx\n",
+			s.name, core.Stats.Cycles, core.Stats.IPC(), core.Stats.MPKI(),
+			float64(baseCycles)/float64(core.Stats.Cycles))
+	}
+	fmt.Println("\nall transformed variants verified against the baseline ✓")
+
+	// The pass refuses inseparable loops: make the CD write the threshold
+	// the slice reads.
+	bad := kernel()
+	bad.CD = append(bad.CD, cfd.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1})
+	if _, err := bad.CFD(false); err != nil {
+		fmt.Printf("inseparable loop correctly rejected: %v\n", err)
+	}
+}

@@ -1,0 +1,3 @@
+module cfd
+
+go 1.22

@@ -1,0 +1,418 @@
+// Package asm implements a two-pass assembler for CFD-RISC and the inverse
+// of the disassembler in package prog. The syntax matches the
+// disassembler's output, so programs round-trip:
+//
+//	loop:                      ; labels end with ':'
+//	    ld   r5, 0(r1)         ; loads/stores use displacement syntax
+//	    slt  r6, r4, r5
+//	    push_bq r6
+//	    addi r1, r1, 8
+//	    bne  r3, r0, loop      ; branch targets are labels or ±offsets
+//	    branch_bq work
+//	    halt
+//
+// Comments start with ';' or '#'. Directives:
+//
+//	.note <class> <text...>   annotate the next instruction's branch class
+//	.data <addr>              set the data cursor
+//	.quad v1, v2, ...         emit 64-bit values at the cursor
+//	.byte v1, v2, ...         emit bytes at the cursor
+//	.fill <count> <value>     emit count 64-bit copies of value
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// Error describes an assembly failure with its line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses source text into a program, discarding any data
+// directives' memory image.
+func Assemble(src string) (*prog.Program, error) {
+	p, _, err := AssembleWithData(src)
+	return p, err
+}
+
+// AssembleWithData parses source text into a program plus the initial
+// memory image built by its data directives.
+func AssembleWithData(src string) (*prog.Program, *mem.Memory, error) {
+	a := &assembler{
+		b:       prog.NewBuilder(),
+		classes: classNames(),
+		mem:     mem.New(),
+	}
+	lines := strings.Split(src, "\n")
+
+	// Forward label references are handled by the Builder's fixup
+	// machinery, so one walk suffices.
+	for i, raw := range lines {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, a.mem, nil
+}
+
+type assembler struct {
+	b       *prog.Builder
+	classes map[string]prog.BranchClass
+	mem     *mem.Memory
+	cursor  uint64
+}
+
+func classNames() map[string]prog.BranchClass {
+	m := make(map[string]prog.BranchClass)
+	for c := prog.NotAnalyzed; c <= prog.EasyToPredict; c++ {
+		m[c.String()] = c
+	}
+	return m
+}
+
+// line assembles one source line.
+func (a *assembler) line(n int, raw string) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several, possibly followed by an instruction).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return errf(n, "malformed label %q", s[:i])
+		}
+		a.b.Label(label)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+
+	fields := strings.Fields(s)
+	mnemonic := fields[0]
+	rest := strings.TrimSpace(s[len(mnemonic):])
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return errf(n, "unknown mnemonic %q", mnemonic)
+	}
+	return a.inst(n, op, ops)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".note":
+		if len(fields) < 3 {
+			return errf(n, ".note needs a class and a description")
+		}
+		cls, ok := a.classes[fields[1]]
+		if !ok {
+			return errf(n, "unknown branch class %q", fields[1])
+		}
+		a.b.Note(strings.Join(fields[2:], " "), cls)
+		return nil
+	case ".data":
+		if len(fields) != 2 {
+			return errf(n, ".data needs an address")
+		}
+		v, err := imm(n, fields[1])
+		if err != nil {
+			return err
+		}
+		a.cursor = uint64(v)
+		return nil
+	case ".quad", ".byte":
+		rest := strings.TrimSpace(s[len(fields[0]):])
+		for _, tok := range strings.Split(rest, ",") {
+			v, err := imm(n, strings.TrimSpace(tok))
+			if err != nil {
+				return err
+			}
+			if fields[0] == ".quad" {
+				a.mem.Write(a.cursor, 8, uint64(v))
+				a.cursor += 8
+			} else {
+				a.mem.Write(a.cursor, 1, uint64(v))
+				a.cursor++
+			}
+		}
+		return nil
+	case ".fill":
+		if len(fields) != 3 {
+			return errf(n, ".fill needs a count and a value")
+		}
+		count, err := imm(n, fields[1])
+		if err != nil {
+			return err
+		}
+		v, err := imm(n, fields[2])
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < count; i++ {
+			a.mem.Write(a.cursor, 8, uint64(v))
+			a.cursor += 8
+		}
+		return nil
+	default:
+		return errf(n, "unknown directive %q", fields[0])
+	}
+}
+
+// reg parses "r12".
+func reg(n int, s string) (isa.Reg, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, errf(n, "expected register, got %q", s)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 || v >= isa.NumRegs {
+		return 0, errf(n, "bad register %q", s)
+	}
+	return isa.Reg(v), nil
+}
+
+// imm parses a signed integer (decimal or 0x-hex, optional +).
+func imm(n int, s string) (int64, error) {
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, errf(n, "bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "disp(rN)".
+func memOperand(n int, s string) (isa.Reg, int64, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(n, "expected disp(reg), got %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := imm(n, s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := reg(n, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+// target emits a control transfer either to a label or a numeric
+// PC-relative offset.
+func (a *assembler) target(n int, in isa.Inst, s string) error {
+	if v, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 0, 64); err == nil {
+		in.Imm = v
+		a.b.Raw(in)
+		return nil
+	}
+	if strings.ContainsAny(s, " \t,()") || s == "" {
+		return errf(n, "bad branch target %q", s)
+	}
+	switch in.Op {
+	case isa.J:
+		a.b.Jump(s)
+	case isa.JAL:
+		a.b.Jal(in.Rd, s)
+	case isa.BranchBQ:
+		a.b.BranchBQ(s)
+	case isa.BranchTCR:
+		a.b.BranchTCR(s)
+	case isa.PopTQOV:
+		a.b.PopTQOV(s)
+	default:
+		a.b.Branch(in.Op, in.Rs1, in.Rs2, s)
+	}
+	return nil
+}
+
+func (a *assembler) inst(n int, op isa.Op, ops []string) error {
+	need := func(k int) error {
+		if len(ops) != k {
+			return errf(n, "%s expects %d operands, got %d", op, k, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case isa.NOP, isa.HALT, isa.MarkBQ, isa.ForwardBQ, isa.PopTQ:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.b.Raw(isa.Inst{Op: op})
+		return nil
+
+	case isa.PushBQ, isa.PushVQ, isa.PushTQ, isa.JR:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Raw(isa.Inst{Op: op, Rs1: r})
+		return nil
+
+	case isa.PopVQ:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Raw(isa.Inst{Op: op, Rd: r})
+		return nil
+
+	case isa.BranchBQ, isa.BranchTCR, isa.PopTQOV, isa.J:
+		if err := need(1); err != nil {
+			return err
+		}
+		return a.target(n, isa.Inst{Op: op}, ops[0])
+
+	case isa.JAL:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.target(n, isa.Inst{Op: op, Rd: rd}, ops[1])
+
+	case isa.PREF, isa.SaveBQ, isa.RestoreBQ, isa.SaveVQ, isa.RestoreVQ, isa.SaveTQ, isa.RestoreTQ:
+		if err := need(1); err != nil {
+			return err
+		}
+		base, off, err := memOperand(n, ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Raw(isa.Inst{Op: op, Rs1: base, Imm: off})
+		return nil
+	}
+
+	switch {
+	case op.IsLoad():
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Load(op, rd, base, off)
+		return nil
+
+	case op.IsStore():
+		if err := need(2); err != nil {
+			return err
+		}
+		src, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Store(op, src, base, off)
+		return nil
+
+	case op.IsCondBranch(): // BEQ..BGEU
+		if err := need(3); err != nil {
+			return err
+		}
+		r1, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		r2, err := reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		return a.target(n, isa.Inst{Op: op, Rs1: r1, Rs2: r2}, ops[2])
+
+	case op.HasImm(): // register-immediate ALU
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := imm(n, ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.I(op, rd, r1, v)
+		return nil
+
+	default: // register-register ALU
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		r2, err := reg(n, ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.R(op, rd, r1, r2)
+		return nil
+	}
+}

@@ -1,0 +1,265 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cfd/internal/emu"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+const sumSrc = `
+; sum the first 8 values at 0x1000 into 0x2000
+        addi r1, r0, 0x1000
+        addi r2, r0, 8
+        addi r3, r0, 0
+loop:   ld   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        addi r5, r0, 0x2000
+        sd   r3, 0(r5)
+        halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	m.WriteUint64s(0x1000, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	mc := emu.New(p, m)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Read(0x2000, 8); got != 36 {
+		t.Errorf("sum = %d, want 36", got)
+	}
+}
+
+const cfdSrc = `
+# decoupled conditional (Fig 3b) with every CFD instruction class
+        addi r1, r0, 0x1000
+        addi r2, r0, 4
+gen:    ld   r3, 0(r1)
+        andi r4, r3, 1
+        push_bq r4
+        push_vq r3
+        addi r1, r1, 8
+        addi r2, r2, -1
+        bne  r2, r0, gen
+        mark_bq
+        addi r2, r0, 4
+use:    pop_vq r5
+.note separable(total) odd element
+        branch_bq work
+        j next
+work:   addi r6, r6, 1
+next:   addi r2, r2, -1
+        bne  r2, r0, use
+        forward_bq
+        addi r7, r0, 3
+        push_tq r7
+        pop_tq
+tq:     branch_tcr tq
+        halt
+`
+
+func TestAssembleCFDInstructions(t *testing.T) {
+	p, err := Assemble(cfdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	m.WriteUint64s(0x1000, []uint64{1, 2, 3, 4})
+	mc := emu.New(p, m)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[6] != 2 {
+		t.Errorf("odd count = %d, want 2", mc.Regs[6])
+	}
+	// The .note directive annotated the branch_bq.
+	found := false
+	for _, note := range p.Notes {
+		if note.Class == prog.SeparableTotal && strings.Contains(note.Name, "odd element") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(".note annotation missing")
+	}
+}
+
+func TestRoundTripWithDisassembler(t *testing.T) {
+	p1, err := Assemble(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble and re-assemble; instruction streams must match.
+	p2, err := Assemble(p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembly: %v", err)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestRoundTripAllOpcodes(t *testing.T) {
+	// Build one instance of every assemblable opcode via the builder,
+	// disassemble, re-assemble, compare.
+	b := prog.NewBuilder()
+	b.Label("l")
+	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
+		// Only populate the fields the op actually encodes in assembly;
+		// unused fields do not survive a disassemble/assemble cycle.
+		in := isa.Inst{Op: op}
+		if op.WritesRd() {
+			in.Rd = 1
+		}
+		if op.ReadsRs1() {
+			in.Rs1 = 2
+		}
+		if op.ReadsRs2() {
+			in.Rs2 = 3
+		}
+		if op.HasImm() && !op.IsControl() {
+			in.Imm = 42
+		}
+		b.Raw(in)
+	}
+	p1 := b.MustBuild()
+	p2, err := Assemble(p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembly: %v", err)
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("op %v: %+v vs %+v", p1.Insts[i].Op, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestNumericBranchTargets(t *testing.T) {
+	p, err := Assemble("nop\nbeq r1, r2, -1\nj +2\nhalt\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Imm != -1 || p.Insts[2].Imm != 2 {
+		t.Errorf("offsets = %d, %d", p.Insts[1].Imm, p.Insts[2].Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "expects 3 operands"},
+		{"add r1, r2, r99", "bad register"},
+		{"ld r1, r2", "expected disp(reg)"},
+		{"addi r1, r0, xyz", "bad immediate"},
+		{"beq r1, r2, no such", "bad branch target"},
+		{".note bogus text", "unknown branch class"},
+		{".unknown", "unknown directive"},
+		{"bad label: nop", "malformed label"},
+		{"j nowhere", "undefined label"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 3 {
+		t.Errorf("err = %v, want *Error at line 3", err)
+	}
+}
+
+func TestLabelsAndCommentsOnOneLine(t *testing.T) {
+	p, err := Assemble("a: b: nop ; trailing\n# full comment line\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcA, _ := p.LabelAt("a"); pcA != 0 {
+		t.Error("label a misplaced")
+	}
+	if pcB, _ := p.LabelAt("b"); pcB != 0 {
+		t.Error("label b misplaced")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestSaveRestoreSyntax(t *testing.T) {
+	p, err := Assemble("save_bq 16(r2)\nrestore_tq 0(r3)\npref -8(r4)\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.SaveBQ || p.Insts[0].Imm != 16 || p.Insts[0].Rs1 != 2 {
+		t.Errorf("save_bq parsed as %+v", p.Insts[0])
+	}
+	if p.Insts[2].Imm != -8 {
+		t.Errorf("pref offset = %d", p.Insts[2].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+.data 0x1000
+.quad 10, 20, 30
+.byte 0xff, 1
+.data 0x2000
+.fill 4 7
+        addi r1, r0, 0x1000
+        ld   r2, 8(r1)
+        halt
+`
+	p, m, err := AssembleWithData(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Read(0x1000, 8); got != 10 {
+		t.Errorf("quad[0] = %d", got)
+	}
+	if got := m.Read(0x1008, 8); got != 20 {
+		t.Errorf("quad[1] = %d", got)
+	}
+	if got := m.Read(0x1018, 1); got != 0xff {
+		t.Errorf("byte[0] = %#x", got)
+	}
+	if got := m.Read(0x2018, 8); got != 7 {
+		t.Errorf("fill[3] = %d", got)
+	}
+	mc := emu.New(p, m)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[2] != 20 {
+		t.Errorf("loaded %d, want 20", mc.Regs[2])
+	}
+}
+
+func TestDataDirectiveErrors(t *testing.T) {
+	for _, src := range []string{".data", ".quad xyz", ".fill 3", ".fill a b"} {
+		if _, _, err := AssembleWithData(src); err == nil {
+			t.Errorf("AssembleWithData(%q) accepted", src)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package cache
+
+import "testing"
+
+func smallConfig() Config {
+	return Config{
+		LineBytes:  64,
+		L1:         LevelConfig{Name: "L1", SizeKB: 1, Ways: 2, Latency: 4},
+		L2:         LevelConfig{Name: "L2", SizeKB: 4, Ways: 4, Latency: 12},
+		L3:         LevelConfig{Name: "L3", SizeKB: 16, Ways: 8, Latency: 30},
+		MemLatency: 200,
+		NumMSHRs:   4,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(smallConfig())
+	done, lvl := h.Access(0x1000, 100)
+	if lvl != MEM {
+		t.Fatalf("cold access level = %v, want MEM", lvl)
+	}
+	if done != 300 {
+		t.Errorf("cold access done = %d, want 300", done)
+	}
+	done, lvl = h.Access(0x1008, 400) // same line, after fill
+	if lvl != L1 || done != 404 {
+		t.Errorf("warm access = %d,%v, want 404,L1", done, lvl)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := New(smallConfig())
+	d1, _ := h.Access(0x2000, 10)
+	d2, lvl := h.Access(0x2010, 11) // same line, while miss outstanding
+	if d2 != d1 {
+		t.Errorf("merged miss completes at %d, want %d", d2, d1)
+	}
+	if lvl != MEM {
+		t.Errorf("merged miss level = %v, want MEM", lvl)
+	}
+	merges, _ := h.MSHRStats()
+	if merges != 1 {
+		t.Errorf("merges = %d, want 1", merges)
+	}
+}
+
+func TestMSHRExhaustionDelays(t *testing.T) {
+	h := New(smallConfig()) // 4 MSHRs
+	var lastFill uint64
+	for i := 0; i < 4; i++ {
+		f, _ := h.Access(uint64(0x10000+i*64), 0)
+		if f > lastFill {
+			lastFill = f
+		}
+	}
+	done, _ := h.Access(0x20000, 1) // fifth concurrent miss
+	if done <= lastFill {
+		t.Errorf("fifth miss done = %d, must wait for an MSHR (past %d)", done, lastFill)
+	}
+	_, stalls := h.MSHRStats()
+	if stalls != 1 {
+		t.Errorf("stalls = %d, want 1", stalls)
+	}
+}
+
+func TestL2AndL3Hits(t *testing.T) {
+	h := New(smallConfig())
+	// Fill a line, then evict it from L1 by touching enough conflicting
+	// lines (L1: 1KB/64B/2way = 8 sets; lines 0x0, 0x200, 0x400 map to
+	// set 0 with stride 8 lines = 512 bytes).
+	h.Access(0x0, 0)
+	h.Access(0x200, 1000)
+	h.Access(0x400, 2000)
+	// 0x0 now evicted from 2-way set 0 of L1, still in L2.
+	done, lvl := h.Access(0x0, 3000)
+	if lvl != L2 {
+		t.Fatalf("level = %v, want L2", lvl)
+	}
+	if done != 3012 {
+		t.Errorf("done = %d, want 3012", done)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x0, 0)
+	h.Access(0x200, 1000)
+	h.Access(0x0, 2000)   // refresh 0x0
+	h.Access(0x400, 3000) // evicts 0x200 (LRU), not 0x0
+	if _, lvl := h.Access(0x0, 4000); lvl != L1 {
+		t.Errorf("refreshed line level = %v, want L1", lvl)
+	}
+	if _, lvl := h.Access(0x200, 5000); lvl == L1 {
+		t.Error("LRU line still in L1")
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	h := New(smallConfig())
+	h.Prefetch(0x3000, 0)
+	// After the fill completes, a demand load hits in L1.
+	done, lvl := h.Access(0x3000, 500)
+	if lvl != L1 || done != 504 {
+		t.Errorf("post-prefetch access = %d,%v, want 504,L1", done, lvl)
+	}
+	if h.Prefetches() != 1 {
+		t.Errorf("Prefetches = %d", h.Prefetches())
+	}
+}
+
+func TestMSHRHistogramSampling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SampleMSHRs = true
+	h := New(cfg)
+	h.Access(0x4000, 0)
+	h.Access(0x5000, 0)
+	h.Tick(1)   // two outstanding
+	h.Tick(500) // both filled
+	if h.Hist[2] != 1 {
+		t.Errorf("Hist[2] = %d, want 1", h.Hist[2])
+	}
+	if h.Hist[0] != 1 {
+		t.Errorf("Hist[0] = %d, want 1", h.Hist[0])
+	}
+}
+
+func TestTickDisabledByDefault(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x4000, 0)
+	h.Tick(1)
+	for _, v := range h.Hist {
+		if v != 0 {
+			t.Fatal("histogram sampled while disabled")
+		}
+	}
+}
+
+func TestLevelStats(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x6000, 0)
+	h.Access(0x6000, 500)
+	acc, miss := h.LevelStats(L1)
+	if acc != 2 || miss != 1 {
+		t.Errorf("L1 stats = %d,%d, want 2,1", acc, miss)
+	}
+	acc, miss = h.LevelStats(L2)
+	if acc != 1 || miss != 1 {
+		t.Errorf("L2 stats = %d,%d, want 1,1", acc, miss)
+	}
+}
+
+func TestServiceLevelHelpers(t *testing.T) {
+	if Max(L2, MEM) != MEM || Max(L3, L1) != L3 || Max(NoData, L1) != L1 {
+		t.Error("Max wrong")
+	}
+	if MEM.String() != "MEM" || NoData.String() != "NoData" {
+		t.Error("String wrong")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	h := New(DefaultConfig())
+	done, lvl := h.Access(0x100, 0)
+	if lvl != MEM || done != 200 {
+		t.Errorf("default cold access = %d,%v", done, lvl)
+	}
+}
+
+func TestNextLinePrefetcher(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NextLinePrefetch = true
+	h := New(cfg)
+	h.Access(0x8000, 0) // miss: prefetches 0x8040
+	if h.HWPrefetches() != 1 {
+		t.Fatalf("HWPrefetches = %d, want 1", h.HWPrefetches())
+	}
+	// After the fills complete, the next line hits.
+	if _, lvl := h.Access(0x8040, 500); lvl != L1 {
+		t.Errorf("next line level = %v, want L1 (prefetched)", lvl)
+	}
+	// Streaming forward: every new line was prefetched by its
+	// predecessor (the in-flight fill still reports the miss level via
+	// MSHR merge, so step well past fill time).
+	if _, lvl := h.Access(0x8080, 1000); lvl != MEM {
+		// 0x8080 was prefetched by the 0x8040 demand? No: 0x8040 hit L1,
+		// hits do not trigger the prefetcher.
+		_ = lvl
+	}
+}
+
+func TestNextLinePrefetcherOffByDefault(t *testing.T) {
+	h := New(smallConfig())
+	h.Access(0x8000, 0)
+	if h.HWPrefetches() != 0 {
+		t.Errorf("prefetcher ran while disabled")
+	}
+	if _, lvl := h.Access(0x8040, 500); lvl == L1 {
+		t.Errorf("next line present without a prefetcher")
+	}
+}

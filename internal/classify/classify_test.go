@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"testing"
+
+	"cfd/internal/prog"
+	"cfd/internal/workload"
+)
+
+func TestProfileSoplex(t *testing.T) {
+	s, _ := workload.ByName("soplexlike")
+	r, err := Profile(s, s.TestN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Suite != "SPEC2006" {
+		t.Errorf("suite = %s", r.Suite)
+	}
+	if r.MPKI() < 10 {
+		t.Errorf("soplexlike MPKI = %.1f, expected a hard-branch workload", r.MPKI())
+	}
+	if !r.Targeted() {
+		t.Error("soplexlike must be in the targeted slice")
+	}
+	top := r.TopBranch()
+	if top == nil || top.Class != prog.SeparableTotal {
+		t.Errorf("top branch = %+v, want the separable branch", top)
+	}
+	if top.MissRate() < 0.2 {
+		t.Errorf("top branch miss rate = %.2f, want hard", top.MissRate())
+	}
+}
+
+func TestStreamlikeExcluded(t *testing.T) {
+	s, _ := workload.ByName("streamlike")
+	r, err := Profile(s, s.TestN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Targeted() {
+		t.Errorf("streamlike (miss rate %.3f) must be excluded", r.MissRate())
+	}
+}
+
+func TestStudyShares(t *testing.T) {
+	st, err := Run(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// Suite shares sum to 1.
+	var sum float64
+	for _, v := range st.SuiteShares() {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("suite shares sum to %.3f", sum)
+	}
+	// Most MPKI is targeted (paper: ~78%).
+	if ts := st.TargetedShare(); ts < 0.5 {
+		t.Errorf("targeted share = %.2f, want the majority", ts)
+	}
+	// The separable classes dominate the class breakdown by
+	// construction of the workload mix (paper: ~41%).
+	if sep := st.SeparableShare(); sep < 0.25 {
+		t.Errorf("separable share = %.2f, want >= 0.25", sep)
+	}
+	// Class shares sum to 1 over targeted workloads.
+	sum = 0
+	for _, v := range st.ClassShares() {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("class shares sum to %.3f", sum)
+	}
+}
+
+func TestClassMPKIMatchesTotal(t *testing.T) {
+	s, _ := workload.ByName("astar2like")
+	r, err := Profile(s, s.TestN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range r.ClassMPKI() {
+		sum += v
+	}
+	if diff := sum - r.MPKI(); diff > 0.001 || diff < -0.001 {
+		t.Errorf("class MPKI sum %.3f != total %.3f", sum, r.MPKI())
+	}
+}

@@ -1,0 +1,93 @@
+package config
+
+import "testing"
+
+func TestSandyBridgeValid(t *testing.T) {
+	c := SandyBridge()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ROBSize != 168 || c.FrontEndDepth != 10 || c.NumCheckpoints != 8 {
+		t.Errorf("baseline parameters drifted: %+v", c)
+	}
+	if c.BQSize != 128 || c.TQSize != 256 {
+		t.Errorf("queue sizes: BQ=%d TQ=%d, want 128,256", c.BQSize, c.TQSize)
+	}
+}
+
+func TestScaledWindows(t *testing.T) {
+	for _, rob := range []int{256, 384, 512, 640} {
+		c := Scaled(rob)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Scaled(%d): %v", rob, err)
+		}
+		if c.ROBSize != rob {
+			t.Errorf("ROB = %d, want %d", c.ROBSize, rob)
+		}
+		base := SandyBridge()
+		if c.IQSize <= base.IQSize || c.LQSize <= base.LQSize {
+			t.Errorf("Scaled(%d) did not scale IQ/LQ: %d,%d", rob, c.IQSize, c.LQSize)
+		}
+		if c.NumCheckpoints != base.NumCheckpoints {
+			t.Errorf("checkpoint count must stay fixed across windows")
+		}
+	}
+}
+
+func TestScaledNoShrink(t *testing.T) {
+	c := Scaled(64)
+	if c.ROBSize != SandyBridge().ROBSize {
+		t.Errorf("Scaled below baseline must clamp, got ROB %d", c.ROBSize)
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	sweep := WindowSweep()
+	if len(sweep) != 5 || sweep[0].ROBSize != 168 || sweep[4].ROBSize != 640 {
+		t.Errorf("sweep = %v", sweep)
+	}
+}
+
+func TestWithDepth(t *testing.T) {
+	c := SandyBridge().WithDepth(20)
+	if c.FrontEndDepth != 20 {
+		t.Errorf("depth = %d", c.FrontEndDepth)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Core){
+		func(c *Core) { c.FetchWidth = 0 },
+		func(c *Core) { c.ROBSize = 0 },
+		func(c *Core) { c.NumPhysRegs = 10 },
+		func(c *Core) { c.FrontEndDepth = 1 },
+		func(c *Core) { c.BQSize = 0 },
+		func(c *Core) { c.NumCheckpoints = -1 },
+	}
+	for i, mutate := range cases {
+		c := SandyBridge()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tab := TableII()
+	if tab["IBM Power7"] != 19 || tab["Intel Pentium 4"] != 20 {
+		t.Errorf("Table II values drifted: %v", tab)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if SpecPop.String() != "spec" || StallFetch.String() != "stall" {
+		t.Error("policy strings")
+	}
+	if PredISLTAGE.String() != "isl-tage" || PredGshare.String() != "gshare" || PredBimodal.String() != "bimodal" {
+		t.Error("predictor strings")
+	}
+}

@@ -1,0 +1,349 @@
+// Package core specifies the architectural state of the control-flow
+// decoupling (CFD) extension: the branch queue (BQ), value queue (VQ), and
+// trip-count queue (TQ), together with the ISA push/pop ordering rules and
+// the save/restore memory image formats used on context switches.
+//
+// Per the paper (§III-A), only the queue contents and a length register are
+// architectural. Head/tail indices are microarchitectural: a pop always
+// yields the oldest predicate and a push always appends behind the newest,
+// however the implementation arranges its storage. This package therefore
+// models each queue as a FIFO with a length register, plus the mark state
+// needed by the bulk-pop (Mark/Forward) enhancement.
+//
+// The ordering rules the ISA imposes on software (§III-A):
+//
+//  1. A push must precede its corresponding pop.
+//  2. N consecutive pushes must be followed by exactly N consecutive pops in
+//     the same order as their corresponding pushes.
+//  3. N cannot exceed the queue size.
+//
+// Violations are reported as *ViolationError. Architectural executions (the
+// functional emulator) treat them as program bugs.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Default architectural queue sizes used throughout the paper's evaluation
+// (§III-B: BQ size 128; §IV-C2: TQ size 256).
+const (
+	DefaultBQSize = 128
+	DefaultVQSize = 128
+	DefaultTQSize = 256
+)
+
+// TQWidth is N, the bit width of a trip count held in one TQ entry. A push
+// of a trip count >= 2^TQWidth sets the entry's overflow bit instead of
+// storing the count (§IV-C4).
+const TQWidth = 16
+
+// MaxTripCount is the largest trip count one TQ entry can represent.
+const MaxTripCount = 1<<TQWidth - 1
+
+// ViolationError reports a violation of the ISA push/pop ordering rules.
+type ViolationError struct {
+	Queue string // "BQ", "VQ", or "TQ"
+	Op    string // offending operation
+	Why   string
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("cfd: %s %s: %s", e.Queue, e.Op, e.Why)
+}
+
+// fifo is the common architectural FIFO shared by the three queues.
+type fifo[T any] struct {
+	name    string
+	size    int
+	entries []T // entries[0] is the head (oldest)
+
+	// Monotonic push/pop counters implement Mark/Forward: Mark records
+	// the current push count; Forward pops until the pop count reaches
+	// the most recent mark.
+	pushes uint64
+	pops   uint64
+	mark   uint64
+	marked bool
+}
+
+func newFIFO[T any](name string, size int) fifo[T] {
+	if size <= 0 {
+		panic(fmt.Sprintf("core: %s size must be positive, got %d", name, size))
+	}
+	return fifo[T]{name: name, size: size, entries: make([]T, 0, size)}
+}
+
+// Len returns the value of the architectural length register.
+func (q *fifo[T]) Len() int { return len(q.entries) }
+
+// Size returns the architectural queue size.
+func (q *fifo[T]) Size() int { return q.size }
+
+func (q *fifo[T]) push(v T) error {
+	if len(q.entries) >= q.size {
+		return &ViolationError{q.name, "push", fmt.Sprintf("queue full (size %d)", q.size)}
+	}
+	q.entries = append(q.entries, v)
+	q.pushes++
+	return nil
+}
+
+func (q *fifo[T]) pop() (T, error) {
+	var zero T
+	if len(q.entries) == 0 {
+		return zero, &ViolationError{q.name, "pop", "queue empty"}
+	}
+	v := q.entries[0]
+	q.entries = q.entries[1:]
+	q.pops++
+	return v, nil
+}
+
+// peek returns the head entry without popping it.
+func (q *fifo[T]) peek() (T, bool) {
+	var zero T
+	if len(q.entries) == 0 {
+		return zero, false
+	}
+	return q.entries[0], true
+}
+
+// setMark records the current tail position (the entry following the newest
+// push). Multiple consecutive marks are allowed; Forward uses the last one.
+func (q *fifo[T]) setMark() {
+	q.mark = q.pushes
+	q.marked = true
+}
+
+// forward bulk-pops entries from the head through the most recently marked
+// position and returns how many entries were popped. The length register is
+// decremented by that count. Entries already popped past the mark leave
+// nothing to do.
+func (q *fifo[T]) forward() (int, error) {
+	if !q.marked {
+		return 0, &ViolationError{q.name, "forward", "no preceding mark"}
+	}
+	n := 0
+	for q.pops < q.mark {
+		if _, err := q.pop(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// reset clears all architectural state (power-on state).
+func (q *fifo[T]) reset() {
+	q.entries = q.entries[:0]
+	q.pushes, q.pops, q.mark, q.marked = 0, 0, 0, false
+}
+
+// snapshot returns a deep copy of the queue contents (for checkpoint and
+// verification use).
+func (q *fifo[T]) snapshot() []T {
+	s := make([]T, len(q.entries))
+	copy(s, q.entries)
+	return s
+}
+
+// BQ is the architectural branch queue. Each entry is a single predicate:
+// true means the consuming BranchBQ is taken.
+type BQ struct {
+	fifo[bool]
+}
+
+// NewBQ returns a BQ with the given architectural size.
+func NewBQ(size int) *BQ { return &BQ{newFIFO[bool]("BQ", size)} }
+
+// Push appends a predicate at the tail. Per the ISA, PushBQ pushes 1 when
+// its source register is non-zero.
+func (q *BQ) Push(pred bool) error { return q.push(pred) }
+
+// Pop removes and returns the head predicate.
+func (q *BQ) Pop() (bool, error) { return q.pop() }
+
+// Peek returns the head predicate without popping.
+func (q *BQ) Peek() (bool, bool) { return q.peek() }
+
+// Mark marks the current tail (the MarkBQ instruction).
+func (q *BQ) Mark() { q.setMark() }
+
+// Forward bulk-pops through the most recent mark (the ForwardBQ
+// instruction) and returns the number of entries discarded.
+func (q *BQ) Forward() (int, error) { return q.forward() }
+
+// Reset restores power-on state.
+func (q *BQ) Reset() { q.reset() }
+
+// Contents returns a copy of the queued predicates, head first.
+func (q *BQ) Contents() []bool { return q.snapshot() }
+
+// ImageSize returns the number of bytes of the SaveBQ/RestoreBQ memory
+// image: one length byte plus one bit per queue entry, rounded up. For the
+// default 128-entry BQ this is the paper's 17 bytes (§III-A).
+func (q *BQ) ImageSize() int { return 1 + (q.size+7)/8 }
+
+// Save serializes the architectural state (length register first, then the
+// predicates between head and tail) into a fresh memory image.
+func (q *BQ) Save() []byte {
+	img := make([]byte, q.ImageSize())
+	img[0] = byte(len(q.entries))
+	for i, p := range q.entries {
+		if p {
+			img[1+i/8] |= 1 << (i % 8)
+		}
+	}
+	return img
+}
+
+// Restore replaces the architectural state from a memory image produced by
+// Save. The mark is cleared: it is not architectural across context
+// switches.
+func (q *BQ) Restore(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: RestoreBQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	n := int(img[0])
+	if n > q.size {
+		return fmt.Errorf("cfd: RestoreBQ: saved length %d exceeds BQ size %d", n, q.size)
+	}
+	q.reset()
+	for i := 0; i < n; i++ {
+		if err := q.push(img[1+i/8]&(1<<(i%8)) != 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VQ is the architectural value queue. Each entry is a 64-bit value.
+//
+// The paper specifies 32-bit VQ entries for its 32-bit-register Alpha
+// binaries; CFD-RISC has 64-bit registers, so entries are 64-bit.
+type VQ struct {
+	fifo[uint64]
+}
+
+// NewVQ returns a VQ with the given architectural size.
+func NewVQ(size int) *VQ { return &VQ{newFIFO[uint64]("VQ", size)} }
+
+// Push appends a value at the tail (the PushVQ instruction).
+func (q *VQ) Push(v uint64) error { return q.push(v) }
+
+// Pop removes and returns the head value (the PopVQ instruction).
+func (q *VQ) Pop() (uint64, error) { return q.pop() }
+
+// Reset restores power-on state.
+func (q *VQ) Reset() { q.reset() }
+
+// Contents returns a copy of the queued values, head first.
+func (q *VQ) Contents() []uint64 { return q.snapshot() }
+
+// ImageSize returns the SaveVQ/RestoreVQ image size: one length byte plus
+// eight bytes per entry of capacity.
+func (q *VQ) ImageSize() int { return 1 + 8*q.size }
+
+// Save serializes the architectural state.
+func (q *VQ) Save() []byte {
+	img := make([]byte, q.ImageSize())
+	img[0] = byte(len(q.entries))
+	for i, v := range q.entries {
+		binary.LittleEndian.PutUint64(img[1+8*i:], v)
+	}
+	return img
+}
+
+// Restore replaces the architectural state from a Save image.
+func (q *VQ) Restore(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: RestoreVQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	n := int(img[0])
+	if n > q.size {
+		return fmt.Errorf("cfd: RestoreVQ: saved length %d exceeds VQ size %d", n, q.size)
+	}
+	q.reset()
+	for i := 0; i < n; i++ {
+		if err := q.push(binary.LittleEndian.Uint64(img[1+8*i:])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TQEntry is one architectural trip-count queue entry: an N-bit trip count
+// plus the software-visible overflow bit (§IV-C4).
+type TQEntry struct {
+	Count    uint32 // meaningful only when !Overflow; < 2^TQWidth
+	Overflow bool   // set when the pushed trip count exceeded MaxTripCount
+}
+
+// TQ is the architectural trip-count queue.
+type TQ struct {
+	fifo[TQEntry]
+}
+
+// NewTQ returns a TQ with the given architectural size.
+func NewTQ(size int) *TQ { return &TQ{newFIFO[TQEntry]("TQ", size)} }
+
+// Push appends a trip count at the tail (the PushTQ instruction). Counts
+// that do not fit in TQWidth bits set the overflow bit and store no count.
+func (q *TQ) Push(count uint64) error {
+	if count > MaxTripCount {
+		return q.push(TQEntry{Overflow: true})
+	}
+	return q.push(TQEntry{Count: uint32(count)})
+}
+
+// Pop removes and returns the head entry (PopTQ / PopTQOV).
+func (q *TQ) Pop() (TQEntry, error) { return q.pop() }
+
+// Peek returns the head entry without popping.
+func (q *TQ) Peek() (TQEntry, bool) { return q.peek() }
+
+// Reset restores power-on state.
+func (q *TQ) Reset() { q.reset() }
+
+// Contents returns a copy of the queued entries, head first.
+func (q *TQ) Contents() []TQEntry { return q.snapshot() }
+
+// ImageSize returns the SaveTQ/RestoreTQ image size: a two-byte length
+// (the default TQ holds 256 entries) plus four bytes per entry of capacity
+// (trip count in the low bits, overflow in bit 31).
+func (q *TQ) ImageSize() int { return 2 + 4*q.size }
+
+// Save serializes the architectural state.
+func (q *TQ) Save() []byte {
+	img := make([]byte, q.ImageSize())
+	binary.LittleEndian.PutUint16(img, uint16(len(q.entries)))
+	for i, e := range q.entries {
+		w := e.Count
+		if e.Overflow {
+			w |= 1 << 31
+		}
+		binary.LittleEndian.PutUint32(img[2+4*i:], w)
+	}
+	return img
+}
+
+// Restore replaces the architectural state from a Save image.
+func (q *TQ) Restore(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: RestoreTQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	n := int(binary.LittleEndian.Uint16(img))
+	if n > q.size {
+		return fmt.Errorf("cfd: RestoreTQ: saved length %d exceeds TQ size %d", n, q.size)
+	}
+	q.reset()
+	for i := 0; i < n; i++ {
+		w := binary.LittleEndian.Uint32(img[2+4*i:])
+		if err := q.push(TQEntry{Count: w &^ (1 << 31), Overflow: w&(1<<31) != 0}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

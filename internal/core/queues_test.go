@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBQFIFOOrder(t *testing.T) {
+	q := NewBQ(8)
+	in := []bool{true, false, false, true, true}
+	for _, p := range in {
+		if err := q.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(in))
+	}
+	for i, want := range in {
+		got, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("pop %d = %v, want %v", i, got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after draining = %d", q.Len())
+	}
+}
+
+func TestBQOrderingViolations(t *testing.T) {
+	q := NewBQ(2)
+	if _, err := q.Pop(); err == nil {
+		t.Error("pop of empty queue must fail")
+	}
+	var verr *ViolationError
+	_, err := q.Pop()
+	if !errors.As(err, &verr) || verr.Queue != "BQ" {
+		t.Errorf("want *ViolationError for BQ, got %v", err)
+	}
+	q.Push(true)
+	q.Push(false)
+	if err := q.Push(true); err == nil {
+		t.Error("push beyond size must fail (rule 3)")
+	}
+}
+
+func TestBQMarkForward(t *testing.T) {
+	q := NewBQ(16)
+	for i := 0; i < 6; i++ {
+		q.Push(i%2 == 0)
+	}
+	q.Mark() // mark after 6 pushes
+	// Consume only 2 of the 6; an early loop exit leaves 4 excess.
+	q.Pop()
+	q.Pop()
+	n, err := q.Forward()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Forward discarded %d, want 4", n)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after Forward = %d, want 0", q.Len())
+	}
+	// Pushes after the mark are not touched by a second Forward.
+	q.Push(true)
+	if n, err := q.Forward(); err != nil || n != 0 {
+		t.Errorf("Forward past mark: n=%d err=%v, want 0,nil", n, err)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestBQMultipleMarksUseLast(t *testing.T) {
+	q := NewBQ(16)
+	q.Push(true)
+	q.Mark()
+	q.Push(false)
+	q.Push(false)
+	q.Mark() // later mark wins
+	q.Push(true)
+	n, err := q.Forward()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Forward discarded %d, want 3 (through second mark)", n)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestForwardWithoutMark(t *testing.T) {
+	q := NewBQ(4)
+	if _, err := q.Forward(); err == nil {
+		t.Error("Forward without a mark must fail")
+	}
+}
+
+func TestBQSaveRestore(t *testing.T) {
+	q := NewBQ(DefaultBQSize)
+	if q.ImageSize() != 17 {
+		t.Fatalf("ImageSize = %d, want 17 (paper §III-A)", q.ImageSize())
+	}
+	rng := rand.New(rand.NewSource(7))
+	var want []bool
+	for i := 0; i < 100; i++ {
+		p := rng.Intn(2) == 0
+		want = append(want, p)
+		q.Push(p)
+	}
+	img := q.Save()
+	r := NewBQ(DefaultBQSize)
+	if err := r.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(want) {
+		t.Fatalf("restored Len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		got, err := r.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("restored pop %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBQRestoreRejectsBadImages(t *testing.T) {
+	q := NewBQ(8)
+	if err := q.Restore([]byte{1}); err == nil {
+		t.Error("short image accepted")
+	}
+	img := make([]byte, q.ImageSize())
+	img[0] = 9 // length > size
+	if err := q.Restore(img); err == nil {
+		t.Error("over-length image accepted")
+	}
+}
+
+func TestVQSaveRestoreRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		q := NewVQ(32)
+		for _, v := range vals {
+			if err := q.Push(v); err != nil {
+				return false
+			}
+		}
+		r := NewVQ(32)
+		if err := r.Restore(q.Save()); err != nil {
+			return false
+		}
+		got := r.Contents()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVQFIFO(t *testing.T) {
+	q := NewVQ(4)
+	for _, v := range []uint64{10, 20, 30} {
+		q.Push(v)
+	}
+	for _, want := range []uint64{10, 20, 30} {
+		got, err := q.Pop()
+		if err != nil || got != want {
+			t.Fatalf("Pop = %d,%v want %d", got, err, want)
+		}
+	}
+}
+
+func TestTQOverflow(t *testing.T) {
+	q := NewTQ(4)
+	if err := q.Push(MaxTripCount); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(MaxTripCount + 1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := q.Pop()
+	if err != nil || e.Overflow || e.Count != MaxTripCount {
+		t.Errorf("in-range entry = %+v err=%v", e, err)
+	}
+	e, err = q.Pop()
+	if err != nil || !e.Overflow {
+		t.Errorf("overflow entry = %+v err=%v, want Overflow", e, err)
+	}
+}
+
+func TestTQSaveRestore(t *testing.T) {
+	q := NewTQ(DefaultTQSize)
+	counts := []uint64{0, 5, 9, 70000, 3} // 70000 overflows a 16-bit count
+	for _, c := range counts {
+		q.Push(c)
+	}
+	r := NewTQ(DefaultTQSize)
+	if err := r.Restore(q.Save()); err != nil {
+		t.Fatal(err)
+	}
+	want := q.Contents()
+	got := r.Contents()
+	if len(got) != len(want) {
+		t.Fatalf("restored Len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTQFullCapacitySaveRestore(t *testing.T) {
+	// The 2-byte length field must represent a completely full default TQ
+	// (length 256 does not fit in one byte).
+	q := NewTQ(DefaultTQSize)
+	for i := 0; i < DefaultTQSize; i++ {
+		if err := q.Push(uint64(i % 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewTQ(DefaultTQSize)
+	if err := r.Restore(q.Save()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != DefaultTQSize {
+		t.Fatalf("restored Len = %d, want %d", r.Len(), DefaultTQSize)
+	}
+}
+
+func TestResetClearsMark(t *testing.T) {
+	q := NewBQ(4)
+	q.Push(true)
+	q.Mark()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Errorf("Len after Reset = %d", q.Len())
+	}
+	if _, err := q.Forward(); err == nil {
+		t.Error("mark must not survive Reset")
+	}
+}
+
+func TestRestoreClearsMark(t *testing.T) {
+	q := NewBQ(8)
+	q.Push(true)
+	q.Mark()
+	img := q.Save()
+	if err := q.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Forward(); err == nil {
+		t.Error("mark must not survive Restore (not architectural)")
+	}
+}
+
+func TestQueuePushPopInterleavingProperty(t *testing.T) {
+	// Property (ordering rules 1-3): any legal interleaving of pushes and
+	// pops behaves as a FIFO of the pushed values.
+	f := func(ops []bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewVQ(16)
+		var model []uint64
+		for _, isPush := range ops {
+			if isPush && q.Len() < 16 {
+				v := rng.Uint64()
+				if err := q.Push(v); err != nil {
+					return false
+				}
+				model = append(model, v)
+			} else if !isPush && len(model) > 0 {
+				got, err := q.Pop()
+				if err != nil || got != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

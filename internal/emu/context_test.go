@@ -1,0 +1,114 @@
+package emu
+
+import (
+	"testing"
+
+	"cfd/internal/isa"
+	"cfd/internal/prog"
+)
+
+// TestContextSwitchAllQueues emulates what an operating system does on a
+// context switch (paper §III-A): save the BQ, VQ, and TQ to memory with
+// the Save* instructions, clobber them by running other work, then restore
+// and continue consuming — the decoupled state must survive.
+func TestContextSwitchAllQueues(t *testing.T) {
+	const saveArea = 0x20000
+	b := prog.NewBuilder()
+	// Produce queue state: 3 BQ predicates, 2 VQ values, 1 TQ count.
+	b.Li(1, 1)
+	b.PushBQ(1)
+	b.PushBQ(0)
+	b.PushBQ(1)
+	b.Li(2, 111)
+	b.PushVQ(2)
+	b.Li(2, 222)
+	b.PushVQ(2)
+	b.Li(2, 5)
+	b.PushTQ(2)
+	// "Context switch out": save all three queues.
+	b.Li(3, saveArea)
+	b.SaveQueue(isa.SaveBQ, 3, 0)
+	b.SaveQueue(isa.SaveVQ, 3, 64)
+	b.SaveQueue(isa.SaveTQ, 3, 2048)
+	// The "other process" fills the queues with garbage and drains them.
+	b.Li(4, 0)
+	b.PushBQ(4)
+	b.BranchBQ("g1")
+	b.Label("g1")
+	b.Li(4, 999)
+	b.PushVQ(4)
+	b.PopVQ(5)
+	b.PushTQ(4)
+	b.PopTQ()
+	b.Label("drain")
+	b.BranchTCR("drain")
+	// "Context switch in": restore.
+	b.SaveQueue(isa.RestoreBQ, 3, 0)
+	b.SaveQueue(isa.RestoreVQ, 3, 64)
+	b.SaveQueue(isa.RestoreTQ, 3, 2048)
+	// Consume the restored state.
+	b.Li(10, 0)
+	b.BranchBQ("p1") // predicate 1: taken
+	b.Jump("bad1")
+	b.Label("p1")
+	b.I(isa.ADDI, 10, 10, 1)
+	b.BranchBQ("bad2") // predicate 0: not taken
+	b.I(isa.ADDI, 10, 10, 2)
+	b.BranchBQ("p3") // predicate 1: taken
+	b.Jump("bad3")
+	b.Label("p3")
+	b.I(isa.ADDI, 10, 10, 4)
+	b.PopVQ(11)
+	b.PopVQ(12)
+	b.PopTQ()
+	b.Li(13, 0)
+	b.Jump("tq")
+	b.Label("body")
+	b.I(isa.ADDI, 13, 13, 1)
+	b.Label("tq")
+	b.BranchTCR("body")
+	b.Halt()
+	b.Label("bad1")
+	b.Label("bad2")
+	b.Label("bad3")
+	b.Halt()
+
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[10] != 7 {
+		t.Errorf("restored BQ predicates wrong: r10 = %d, want 7", mc.Regs[10])
+	}
+	if mc.Regs[11] != 111 || mc.Regs[12] != 222 {
+		t.Errorf("restored VQ values = %d, %d", mc.Regs[11], mc.Regs[12])
+	}
+	if mc.Regs[13] != 5 {
+		t.Errorf("restored TQ trip = %d, want 5", mc.Regs[13])
+	}
+	if mc.BQ.Len() != 0 || mc.VQ.Len() != 0 || mc.TQ.Len() != 0 {
+		t.Error("queues not drained after restore+consume")
+	}
+}
+
+// TestSaveImagesInMemoryAreWellFormed checks the memory image layout the
+// ISA specifies (§III-A): length first, then payload.
+func TestSaveImagesInMemoryAreWellFormed(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 1)
+	b.PushBQ(1)
+	b.PushBQ(1)
+	b.Li(3, 0x30000)
+	b.SaveQueue(isa.SaveBQ, 3, 0)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Mem.Read(0x30000, 1); got != 2 {
+		t.Errorf("BQ image length byte = %d, want 2", got)
+	}
+	if got := mc.Mem.Read(0x30001, 1); got&3 != 3 {
+		t.Errorf("BQ image predicate bits = %#x, want low two bits set", got)
+	}
+}

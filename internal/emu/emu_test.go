@@ -1,0 +1,490 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// sumLoop builds: for i in 0..n-1 { sum += a[i] }; store sum at out.
+func sumLoop(base, out uint64, n int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(base)) // r1 = &a[0]
+	b.Li(2, n)           // r2 = n
+	b.Li(3, 0)           // r3 = sum
+	b.Label("loop")
+	b.Load(isa.LD, 4, 1, 0)
+	b.R(isa.ADD, 3, 3, 4)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "loop")
+	b.Li(5, int64(out))
+	b.Store(isa.SD, 3, 5, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSumLoop(t *testing.T) {
+	m := mem.New()
+	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	m.WriteUint64s(0x1000, vals)
+	mc := New(sumLoop(0x1000, 0x2000, int64(len(vals))), m)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, v := range vals {
+		want += v
+	}
+	if got := m.Read(0x2000, 8); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if mc.Retired == 0 || !mc.Halted {
+		t.Errorf("Retired=%d Halted=%v", mc.Retired, mc.Halted)
+	}
+}
+
+// cfdConditionalSum builds the paper's canonical transformation (Fig 3b):
+//
+//	baseline:   for i { if (a[i] > k) b[i] = a[i] + 7 }
+//	decoupled:  loop1 pushes (a[i] > k); loop2 pops and does the work.
+//
+// Both versions must leave identical memory.
+func baselineConditional(aBase, bBase uint64, n, k int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(aBase))
+	b.Li(2, int64(bBase))
+	b.Li(3, n)
+	b.Li(4, k)
+	b.Label("loop")
+	b.Load(isa.LD, 5, 1, 0)
+	b.R(isa.SLT, 6, 4, 5) // r6 = k < a[i]
+	b.Note("a[i] > k", prog.SeparableTotal)
+	b.Branch(isa.BEQ, 6, 0, "skip") // skip CD region when predicate false
+	b.I(isa.ADDI, 7, 5, 7)
+	b.Store(isa.SD, 7, 2, 0)
+	b.Label("skip")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func cfdConditional(aBase, bBase uint64, n, k int64) *prog.Program {
+	b := prog.NewBuilder()
+	// Loop 1: generate predicates.
+	b.Li(1, int64(aBase))
+	b.Li(3, n)
+	b.Li(4, k)
+	b.Label("gen")
+	b.Load(isa.LD, 5, 1, 0)
+	b.R(isa.SLT, 6, 4, 5)
+	b.PushBQ(6)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "gen")
+	// Loop 2: consume predicates.
+	b.Li(1, int64(aBase))
+	b.Li(2, int64(bBase))
+	b.Li(3, n)
+	b.Label("use")
+	b.BranchBQ("work") // taken → execute CD region
+	b.Jump("skip")
+	b.Label("work")
+	b.Load(isa.LD, 5, 1, 0)
+	b.I(isa.ADDI, 7, 5, 7)
+	b.Store(isa.SD, 7, 2, 0)
+	b.Label("skip")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "use")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCFDMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint64, 64)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(100))
+	}
+	const aBase, bBase, k = 0x1000, 0x8000, 50
+
+	m1 := mem.New()
+	m1.WriteUint64s(aBase, vals)
+	if err := New(baselineConditional(aBase, bBase, int64(len(vals)), k), m1).Run(0); err != nil {
+		t.Fatal(err)
+	}
+	m2 := mem.New()
+	m2.WriteUint64s(aBase, vals)
+	mc := New(cfdConditional(aBase, bBase, int64(len(vals)), k), m2)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Equal(m2) {
+		t.Error("CFD-transformed program diverges from baseline")
+	}
+	if mc.BQ.Len() != 0 {
+		t.Errorf("BQ not drained: %d", mc.BQ.Len())
+	}
+}
+
+func TestBQOverflowIsProgramError(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 1)
+	b.Li(2, 200) // exceeds BQ size 128
+	b.Label("l")
+	b.PushBQ(1)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "l")
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err == nil {
+		t.Error("BQ overflow must be reported")
+	}
+	if !mc.Halted {
+		t.Error("machine must halt on violation")
+	}
+}
+
+func TestPopEmptyBQFails(t *testing.T) {
+	b := prog.NewBuilder()
+	b.BranchBQ("x")
+	b.Label("x").Halt()
+	if err := New(b.MustBuild(), nil).Run(0); err == nil {
+		t.Error("pop before push must be reported (ordering rule 1)")
+	}
+}
+
+// tqNestedLoop builds the TQ transformation of Fig 13d:
+//
+//	for i { for j in 0..a[i]-1 { sum++ } }
+func tqNestedLoop(base uint64, n int64, useTQ bool) *prog.Program {
+	b := prog.NewBuilder()
+	if useTQ {
+		b.Li(1, int64(base))
+		b.Li(2, n)
+		b.Label("gen")
+		b.Load(isa.LD, 3, 1, 0)
+		b.PushTQ(3)
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, "gen")
+		b.Li(2, n)
+		b.Li(4, 0) // sum
+		b.Label("outer")
+		b.PopTQ()
+		b.Jump("test")
+		b.Label("body")
+		b.I(isa.ADDI, 4, 4, 1)
+		b.Label("test")
+		b.BranchTCR("body")
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, "outer")
+	} else {
+		b.Li(1, int64(base))
+		b.Li(2, n)
+		b.Li(4, 0)
+		b.Label("outer")
+		b.Load(isa.LD, 3, 1, 0)
+		b.Li(5, 0)
+		b.Label("inner")
+		b.Branch(isa.BGE, 5, 3, "innerdone")
+		b.I(isa.ADDI, 4, 4, 1)
+		b.I(isa.ADDI, 5, 5, 1)
+		b.Jump("inner")
+		b.Label("innerdone")
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, "outer")
+	}
+	b.Li(6, 0x4000)
+	b.Store(isa.SD, 4, 6, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestTQLoopMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trips := make([]uint64, 40)
+	for i := range trips {
+		trips[i] = uint64(rng.Intn(10)) // 0..9, like astar
+	}
+	run := func(useTQ bool) uint64 {
+		m := mem.New()
+		m.WriteUint64s(0x1000, trips)
+		if err := New(tqNestedLoop(0x1000, int64(len(trips)), useTQ), m).Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return m.Read(0x4000, 8)
+	}
+	base, tq := run(false), run(true)
+	if base != tq {
+		t.Errorf("TQ sum = %d, baseline = %d", tq, base)
+	}
+	var want uint64
+	for _, v := range trips {
+		want += v
+	}
+	if base != want {
+		t.Errorf("baseline sum = %d, want %d", base, want)
+	}
+}
+
+func TestMarkForwardEarlyExit(t *testing.T) {
+	// Loop 1 pushes 8 predicates, marks. Loop 2 pops 3 and exits early;
+	// ForwardBQ discards the excess so a second decoupled region works.
+	b := prog.NewBuilder()
+	b.Li(1, 8)
+	b.Li(2, 1)
+	b.Label("gen")
+	b.PushBQ(2)
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "gen")
+	b.MarkBQ()
+	b.Li(1, 3)
+	b.Label("use")
+	b.BranchBQ("body")
+	b.Label("body")
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "use")
+	b.ForwardBQ()
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.BQ.Len() != 0 {
+		t.Errorf("BQ length after Forward = %d, want 0", mc.BQ.Len())
+	}
+}
+
+func TestVQRoundTrip(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 111)
+	b.PushVQ(1)
+	b.Li(1, 222)
+	b.PushVQ(1)
+	b.PopVQ(2)
+	b.PopVQ(3)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[2] != 111 || mc.Regs[3] != 222 {
+		t.Errorf("VQ pops = %d,%d want 111,222", mc.Regs[2], mc.Regs[3])
+	}
+}
+
+func TestSaveRestoreBQInstruction(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 1)
+	b.PushBQ(1)
+	b.PushBQ(0) // r0 → predicate 0
+	b.Li(2, 0x3000)
+	b.SaveQueue(isa.SaveBQ, 2, 0)
+	// Drain, then restore: contents must come back.
+	b.BranchBQ("n1")
+	b.Label("n1")
+	b.BranchBQ("n2")
+	b.Label("n2")
+	b.SaveQueue(isa.RestoreBQ, 2, 0)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.BQ.Len() != 2 {
+		t.Fatalf("restored BQ length = %d, want 2", mc.BQ.Len())
+	}
+	got := mc.BQ.Contents()
+	if !got[0] || got[1] {
+		t.Errorf("restored contents = %v, want [true false]", got)
+	}
+}
+
+func TestPopTQOVBranchesOnOverflow(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 1<<20) // exceeds 16-bit trip count
+	b.PushTQ(1)
+	b.PopTQOV("fallback")
+	b.Li(9, 1) // skipped when overflow branch taken
+	b.Halt()
+	b.Label("fallback")
+	b.Li(9, 2)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[9] != 2 {
+		t.Errorf("r9 = %d, want 2 (overflow path)", mc.Regs[9])
+	}
+	if mc.TCR != 0 {
+		t.Errorf("TCR = %d, want 0 after overflow pop", mc.TCR)
+	}
+}
+
+func TestPopTQOVInRange(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 5)
+	b.PushTQ(1)
+	b.PopTQOV("fallback")
+	b.Halt()
+	b.Label("fallback")
+	b.Li(9, 2)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[9] != 0 || mc.TCR != 5 {
+		t.Errorf("r9=%d TCR=%d, want 0,5", mc.Regs[9], mc.TCR)
+	}
+}
+
+func TestCMOV(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 10)
+	b.Li(2, 20)
+	b.Li(3, 0)
+	b.Li(4, 99)
+	b.R(isa.CMOVZ, 1, 2, 3)  // r3==0 → r1 = 20
+	b.R(isa.CMOVNZ, 4, 2, 3) // r3==0 → r4 unchanged
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[1] != 20 {
+		t.Errorf("cmovz: r1 = %d, want 20", mc.Regs[1])
+	}
+	if mc.Regs[4] != 99 {
+		t.Errorf("cmovnz: r4 = %d, want 99", mc.Regs[4])
+	}
+}
+
+func TestZeroRegisterIgnoresWrites(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(0, 42)
+	b.Mov(1, 0)
+	b.Halt()
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Regs[1] != 0 {
+		t.Errorf("r0 must stay 0, got moved value %d", mc.Regs[1])
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Label("spin").Jump("spin")
+	mc := New(b.MustBuild(), nil)
+	if err := mc.Run(100); err != ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if mc.Retired != 100 {
+		t.Errorf("Retired = %d, want 100", mc.Retired)
+	}
+}
+
+func TestTracerSeesBranches(t *testing.T) {
+	var branches, taken int
+	tr := TracerFunc(func(ev Event) {
+		if ev.Inst.Op.IsCondBranch() {
+			branches++
+			if ev.Taken {
+				taken++
+			}
+		}
+	})
+	m := mem.New()
+	m.WriteUint64s(0x1000, []uint64{1, 2, 3, 4})
+	mc := New(sumLoop(0x1000, 0x2000, 4), m, WithTracer(tr))
+	if err := mc.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if branches != 4 || taken != 3 {
+		t.Errorf("branches=%d taken=%d, want 4,3", branches, taken)
+	}
+}
+
+func TestLoadExtensions(t *testing.T) {
+	m := mem.New()
+	m.Write(0x100, 8, 0xfffefdfcfbfaf9f8)
+	cases := []struct {
+		op   isa.Op
+		want uint64
+	}{
+		{isa.LD, 0xfffefdfcfbfaf9f8},
+		{isa.LW, 0xfffffffffbfaf9f8},
+		{isa.LWU, 0xfbfaf9f8},
+		{isa.LH, 0xfffffffffffff9f8},
+		{isa.LHU, 0xf9f8},
+		{isa.LB, 0xfffffffffffffff8},
+		{isa.LBU, 0xf8},
+	}
+	for _, c := range cases {
+		b := prog.NewBuilder()
+		b.Li(1, 0x100)
+		b.Load(c.op, 2, 1, 0)
+		b.Halt()
+		mc := New(b.MustBuild(), m.Clone())
+		if err := mc.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if mc.Regs[2] != c.want {
+			t.Errorf("%v = %#x, want %#x", c.op, mc.Regs[2], c.want)
+		}
+	}
+}
+
+func TestDivRemEdgeCases(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{isa.DIV, 7, 2, 3},
+		{isa.DIV, -7, 2, -3},
+		{isa.DIV, 7, 0, 0},
+		{isa.REM, 7, 0, 7},
+		{isa.REM, -7, 2, -1},
+		{isa.DIV, -9223372036854775808, -1, -9223372036854775808},
+		{isa.REM, -9223372036854775808, -1, 0},
+	}
+	for _, c := range cases {
+		b := prog.NewBuilder()
+		b.Li(1, c.a)
+		b.Li(2, c.b)
+		b.R(c.op, 3, 1, 2)
+		b.Halt()
+		mc := New(b.MustBuild(), nil)
+		if err := mc.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if int64(mc.Regs[3]) != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, int64(mc.Regs[3]), c.want)
+		}
+	}
+}
+
+func TestExtendLoadMatchesLoadValue(t *testing.T) {
+	m := mem.New()
+	m.Write(0x40, 8, 0x8899aabbccddeeff)
+	for _, op := range []isa.Op{isa.LD, isa.LW, isa.LWU, isa.LH, isa.LHU, isa.LB, isa.LBU} {
+		raw := m.Read(0x40, LoadSize(op))
+		if got, want := ExtendLoad(op, raw), LoadValue(m, op, 0x40); got != want {
+			t.Errorf("%v: ExtendLoad = %#x, LoadValue = %#x", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package energy provides event-driven energy accounting in the spirit of
+// the paper's McPAT+CACTI methodology (§VI): every microarchitectural event
+// is charged a per-access energy, structures leak per cycle, and the CFD
+// queues (BQ, VQ renamer, TQ) are accounted explicitly. Values are relative
+// (picojoule-scale constants); the paper reports relative energy, and the
+// shapes — wrong-path waste, instruction overhead, queue costs — are what
+// event counting preserves.
+package energy
+
+// Event enumerates charged microarchitectural events.
+type Event uint8
+
+// Events.
+const (
+	Fetch Event = iota // per fetched instruction
+	Decode
+	Rename
+	IQWrite
+	IQIssue // wakeup/select per issued instruction
+	PRFRead // per operand
+	PRFWrite
+	ALUOp
+	MulDivOp
+	AGU
+	L1Access
+	L2Access
+	L3Access
+	MemAccess
+	ROBWrite
+	Retire
+	LSQOp
+	PredictorAccess
+	BTBAccess
+	CkptCreate
+	CkptRestore
+	BQAccess    // push/pop/bulk-pop of the fetch unit's BQ
+	VQRenAccess // VQ renamer read/write
+	TQAccess    // push/pop of the fetch unit's TQ
+
+	numEvents
+)
+
+// NumEvents is the number of defined event kinds.
+const NumEvents = int(numEvents)
+
+var eventNames = [numEvents]string{
+	"fetch", "decode", "rename", "iq-write", "iq-issue", "prf-read",
+	"prf-write", "alu", "muldiv", "agu", "l1", "l2", "l3", "mem",
+	"rob-write", "retire", "lsq", "predictor", "btb", "ckpt-create",
+	"ckpt-restore", "bq", "vq-renamer", "tq",
+}
+
+// String returns the event name.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "event(?)"
+}
+
+// Model holds per-event energies (pJ) and leakage (pJ/cycle).
+type Model struct {
+	PerEvent     [numEvents]float64
+	LeakPerCycle float64
+}
+
+// DefaultModel returns per-access energies loosely calibrated to
+// McPAT/CACTI relative magnitudes for a Sandy Bridge-class core, with
+// leakage scaled to the instruction window size. The BQ/TQ are tagless
+// single-bit/16-bit RAMs and the VQ renamer is a small mapping table, so
+// their per-access energies are tiny (paper Fig 17b).
+func DefaultModel(robSize int) Model {
+	m := Model{LeakPerCycle: 30 + 0.06*float64(robSize)}
+	m.PerEvent = [numEvents]float64{
+		Fetch:           8,
+		Decode:          4,
+		Rename:          6,
+		IQWrite:         6,
+		IQIssue:         8,
+		PRFRead:         4,
+		PRFWrite:        6,
+		ALUOp:           10,
+		MulDivOp:        30,
+		AGU:             8,
+		L1Access:        20,
+		L2Access:        60,
+		L3Access:        150,
+		MemAccess:       600,
+		ROBWrite:        4,
+		Retire:          4,
+		LSQOp:           6,
+		PredictorAccess: 12,
+		BTBAccess:       6,
+		CkptCreate:      25,
+		CkptRestore:     25,
+		BQAccess:        0.8,
+		VQRenAccess:     2,
+		TQAccess:        1,
+	}
+	return m
+}
+
+// Meter accumulates event counts against a model.
+type Meter struct {
+	Model  Model
+	Counts [numEvents]uint64
+	Cycles uint64
+}
+
+// NewMeter returns a Meter over the given model.
+func NewMeter(m Model) *Meter { return &Meter{Model: m} }
+
+// Add charges n events of kind e.
+func (mt *Meter) Add(e Event, n uint64) { mt.Counts[e] += n }
+
+// AddCycles accounts leakage time.
+func (mt *Meter) AddCycles(n uint64) { mt.Cycles += n }
+
+// Dynamic returns accumulated dynamic energy (pJ).
+func (mt *Meter) Dynamic() float64 {
+	var t float64
+	for e := 0; e < NumEvents; e++ {
+		t += float64(mt.Counts[e]) * mt.Model.PerEvent[e]
+	}
+	return t
+}
+
+// Leakage returns accumulated leakage energy (pJ).
+func (mt *Meter) Leakage() float64 { return float64(mt.Cycles) * mt.Model.LeakPerCycle }
+
+// Total returns total energy (pJ).
+func (mt *Meter) Total() float64 { return mt.Dynamic() + mt.Leakage() }
+
+// Breakdown returns per-event dynamic energy, keyed by event name.
+func (mt *Meter) Breakdown() map[string]float64 {
+	b := make(map[string]float64, NumEvents)
+	for e := 0; e < NumEvents; e++ {
+		if mt.Counts[e] != 0 {
+			b[Event(e).String()] = float64(mt.Counts[e]) * mt.Model.PerEvent[e]
+		}
+	}
+	return b
+}
+
+// QueueEnergy returns the dynamic energy charged to the CFD structures
+// (BQ + VQ renamer + TQ) — the hardware overhead CFD adds.
+func (mt *Meter) QueueEnergy() float64 {
+	return float64(mt.Counts[BQAccess])*mt.Model.PerEvent[BQAccess] +
+		float64(mt.Counts[VQRenAccess])*mt.Model.PerEvent[VQRenAccess] +
+		float64(mt.Counts[TQAccess])*mt.Model.PerEvent[TQAccess]
+}

@@ -1,0 +1,67 @@
+package energy
+
+import "testing"
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(DefaultModel(168))
+	m.Add(Fetch, 100)
+	m.Add(ALUOp, 50)
+	m.AddCycles(10)
+	wantDyn := 100*m.Model.PerEvent[Fetch] + 50*m.Model.PerEvent[ALUOp]
+	if got := m.Dynamic(); got != wantDyn {
+		t.Errorf("Dynamic = %v, want %v", got, wantDyn)
+	}
+	wantLeak := 10 * m.Model.LeakPerCycle
+	if got := m.Leakage(); got != wantLeak {
+		t.Errorf("Leakage = %v, want %v", got, wantLeak)
+	}
+	if m.Total() != wantDyn+wantLeak {
+		t.Error("Total != Dynamic + Leakage")
+	}
+}
+
+func TestBreakdownSkipsZeroEvents(t *testing.T) {
+	m := NewMeter(DefaultModel(168))
+	m.Add(L2Access, 3)
+	b := m.Breakdown()
+	if len(b) != 1 || b["l2"] != 3*m.Model.PerEvent[L2Access] {
+		t.Errorf("Breakdown = %v", b)
+	}
+}
+
+func TestQueueEnergy(t *testing.T) {
+	m := NewMeter(DefaultModel(168))
+	m.Add(BQAccess, 10)
+	m.Add(VQRenAccess, 5)
+	m.Add(TQAccess, 2)
+	m.Add(Fetch, 1000) // not a queue event
+	want := 10*m.Model.PerEvent[BQAccess] + 5*m.Model.PerEvent[VQRenAccess] + 2*m.Model.PerEvent[TQAccess]
+	if got := m.QueueEnergy(); got != want {
+		t.Errorf("QueueEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestQueueEnergiesAreTiny(t *testing.T) {
+	// Paper Fig 17b: the CFD structures are small tagless RAMs; their
+	// per-access energy must be far below a cache or predictor access.
+	m := DefaultModel(168)
+	for _, q := range []Event{BQAccess, VQRenAccess, TQAccess} {
+		if m.PerEvent[q] >= m.PerEvent[L1Access]/4 {
+			t.Errorf("%v energy %v too close to L1 %v", q, m.PerEvent[q], m.PerEvent[L1Access])
+		}
+	}
+}
+
+func TestLeakageScalesWithWindow(t *testing.T) {
+	if DefaultModel(640).LeakPerCycle <= DefaultModel(168).LeakPerCycle {
+		t.Error("leakage must grow with window size")
+	}
+}
+
+func TestEventNamesComplete(t *testing.T) {
+	for e := Event(0); e < numEvents; e++ {
+		if e.String() == "" || e.String() == "event(?)" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+}

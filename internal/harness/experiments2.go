@@ -1,0 +1,409 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cfd/internal/config"
+	"cfd/internal/stats"
+	"cfd/internal/workload"
+)
+
+// bestCFD picks the workload's most complete CFD(BQ) variant.
+func bestCFD(s *workload.Spec) workload.Variant {
+	if s.HasVariant(workload.CFDPlus) {
+		return workload.CFDPlus
+	}
+	return workload.CFD
+}
+
+func init() {
+	registerExp(&Experiment{
+		ID:    "fig18",
+		Title: "Fig 18: performance and energy impact of CFD and CFD+",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 18: CFD/CFD+ speedup and energy reduction vs base",
+				"workload", "cfd speedup", "cfd energy", "cfd+ speedup", "cfd+ energy")
+			var sp []float64
+			for _, s := range withVariant(workload.CFD) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				cfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				sp = append(sp, Speedup(base, cfd))
+				row := []string{s.Name, stats.Ratio(Speedup(base, cfd)), stats.Share(EnergyReduction(base, cfd))}
+				if s.HasVariant(workload.CFDPlus) {
+					plus, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFDPlus, Config: config.SandyBridge()})
+					if err != nil {
+						return err
+					}
+					row = append(row, stats.Ratio(Speedup(base, plus)), stats.Share(EnergyReduction(base, plus)))
+				} else {
+					row = append(row, "-", "-")
+				}
+				t.Add(row...)
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintf(w, "geometric-mean CFD speedup = %s (paper: up to 1.5x, 16%% avg)\n", stats.Ratio(gmean(sp)))
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig19",
+		Title: "Fig 19: effective IPC — Base, CFD+, Base+PerfectCFD, PerfectPrediction",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 19: effective IPC comparison",
+				"workload", "base", "cfd", "base+perfectCFD", "perfect", "group")
+			for _, s := range withVariant(workload.CFD) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				cfd, err := r.Run(RunSpec{Workload: s.Name, Variant: bestCFD(s), Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				pcfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectCFD: true})
+				if err != nil {
+					return err
+				}
+				perf, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectAll: true})
+				if err != nil {
+					return err
+				}
+				cfdIPC, pcfdIPC := EffIPC(base, cfd), EffIPC(base, pcfd)
+				group := "2 (matches PerfectCFD)"
+				switch {
+				case cfdIPC < 0.97*pcfdIPC:
+					group = "1 (under PerfectCFD)"
+				case cfdIPC > 1.03*pcfdIPC:
+					group = "3 (over PerfectCFD)"
+				}
+				t.Addf(s.Name, base.Stats.IPC(), cfdIPC, pcfdIPC, EffIPC(base, perf), group)
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig20",
+		Title: "Fig 20: fetched-instruction accounting (wrong-path reduction vs retired overhead)",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 20: fetched instructions normalized to base fetched",
+				"workload", "base retired", "base wrong-path", "cfd retired", "cfd wrong-path")
+			for _, s := range withVariant(workload.CFD) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				cfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				norm := float64(base.Stats.Fetched)
+				t.Addf(s.Name,
+					stats.Share(float64(base.Stats.Retired)/norm),
+					stats.Share(float64(base.Stats.Fetched-base.Stats.Retired)/norm),
+					stats.Share(float64(cfd.Stats.Retired)/norm),
+					stats.Share(float64(cfd.Stats.Fetched-cfd.Stats.Retired)/norm))
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig21a",
+		Title: "Fig 21a: sensitivity to pipeline depth (fetch-to-execute)",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 21a: CFD speedup vs fetch-to-execute depth",
+				"workload", "depth 5", "depth 10", "depth 15", "depth 20")
+			for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
+				row := []string{name}
+				for _, d := range []int{5, 10, 15, 20} {
+					cfg := config.SandyBridge().WithDepth(d)
+					base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+					if err != nil {
+						return err
+					}
+					cfd, err := r.Run(RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
+					if err != nil {
+						return err
+					}
+					row = append(row, stats.Ratio(Speedup(base, cfd)))
+				}
+				t.Add(row...)
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: CFD gains grow with pipeline depth (deeper pipe, costlier mispredicts)")
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig21b",
+		Title: "Fig 21b: CFD gains under larger instruction windows",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 21b: geometric-mean CFD speedup per window",
+				"window", "gmean speedup")
+			for _, rob := range []int{168, 256, 512} {
+				cfg := config.Scaled(rob)
+				var sp []float64
+				for _, s := range withVariant(workload.CFD) {
+					base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: cfg})
+					if err != nil {
+						return err
+					}
+					cfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFD, Config: cfg})
+					if err != nil {
+						return err
+					}
+					sp = append(sp, Speedup(base, cfd))
+				}
+				t.Addf(rob, stats.Ratio(gmean(sp)))
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig21c",
+		Title: "Fig 21c: speculative pop vs stall on a BQ miss",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 21c: effective IPC, spec vs stall BQ-miss policy",
+				"workload", "base", "cfd (spec)", "cfd (stall)", "BQ miss rate")
+			names := []string{"tifflike", "soplexlike", "mcflike", "bzip2like"}
+			for _, name := range names {
+				base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				spec, err := r.Run(RunSpec{Workload: name, Variant: workload.CFD, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				stallCfg := config.SandyBridge()
+				stallCfg.BQMissPolicy = config.StallFetch
+				stall, err := r.Run(RunSpec{Workload: name, Variant: workload.CFD, Config: stallCfg})
+				if err != nil {
+					return err
+				}
+				missRate := 0.0
+				if pops := spec.Stats.BQPops; pops > 0 {
+					missRate = float64(spec.Stats.BQMisses) / float64(pops)
+				}
+				t.Addf(name, base.Stats.IPC(), EffIPC(base, spec), EffIPC(base, stall), stats.Share(missRate))
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: spec == stall except the high-BQ-miss hoisting-only workload (tifflike)")
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig22",
+		Title: "Fig 22: astar region #1 case study (source and behavior)",
+		Run: func(r *Runner, w io.Writer) error {
+			s, _ := workload.ByName("astar1like")
+			for _, v := range []workload.Variant{workload.Base, workload.CFD} {
+				p, _, err := s.Build(v, 256)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "--- astar1like/%s ---\n%s\n", v, p.Disassemble())
+			}
+			base, err := r.Run(RunSpec{Workload: "astar1like", Variant: workload.Base, Config: config.SandyBridge()})
+			if err != nil {
+				return err
+			}
+			cfd, err := r.Run(RunSpec{Workload: "astar1like", Variant: workload.CFD, Config: config.SandyBridge()})
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "base MPKI %.2f -> cfd MPKI %.2f, speedup %s\n",
+				base.Stats.MPKI(), cfd.Stats.MPKI(), stats.Ratio(Speedup(base, cfd)))
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig23",
+		Title: "Fig 23: effective IPC vs window size, base vs CFD (astar analogs)",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 23: effective IPC across windows",
+				"workload", "window", "base", "cfd", "cfd speedup")
+			for _, name := range []string{"astar1like", "mcflike"} {
+				for _, cfg := range config.WindowSweep() {
+					base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+					if err != nil {
+						return err
+					}
+					cfd, err := r.Run(RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
+					if err != nil {
+						return err
+					}
+					t.Addf(name, cfg.ROBSize, base.Stats.IPC(), EffIPC(base, cfd), stats.Ratio(Speedup(base, cfd)))
+				}
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: CFD speedup grows with window size (misprediction eradication enables latency tolerance)")
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig24",
+		Title: "Fig 24: DFD vs CFD performance and energy",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 24: CFD vs DFD speedup and energy reduction",
+				"workload", "cfd speedup", "dfd speedup", "cfd energy", "dfd energy")
+			for _, s := range withVariant(workload.DFD) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				cfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				dfd, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.DFD, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				t.Add(s.Name, stats.Ratio(Speedup(base, cfd)), stats.Ratio(Speedup(base, dfd)),
+					stats.Share(EnergyReduction(base, cfd)), stats.Share(EnergyReduction(base, dfd)))
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig25a",
+		Title: "Fig 25a: L1 MSHR utilization histogram, CFD vs DFD",
+		Run: func(r *Runner, w io.Writer) error {
+			for _, v := range []workload.Variant{workload.CFD, workload.DFD} {
+				res, err := r.Run(RunSpec{Workload: "mcflike", Variant: v, Config: config.SandyBridge(), SampleMSHR: true})
+				if err != nil {
+					return err
+				}
+				labels := make([]string, len(res.MSHRHist))
+				for i := range labels {
+					labels[i] = fmt.Sprint(i)
+				}
+				fmt.Fprintln(w, stats.Histogram(fmt.Sprintf("Fig 25a: mcflike/%s MSHR occupancy (%% of cycles)", v), labels, res.MSHRHist))
+			}
+			_, err := fmt.Fprintln(w, "expected shape: DFD shows a more pronounced bimodal distribution (denser miss clusters)")
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig25b",
+		Title: "Fig 25b: misprediction memory-level breakdown, base vs DFD",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 25b: mispredicts by feeding level",
+				"workload", "scheme", "NoData", "L1", "L2", "L3", "MEM")
+			for _, name := range []string{"mcflike", "astar1like", "soplexlike"} {
+				for _, v := range []workload.Variant{workload.Base, workload.DFD} {
+					res, err := r.Run(RunSpec{Workload: name, Variant: v, Config: config.SandyBridge()})
+					if err != nil {
+						return err
+					}
+					sh := levelShares(res.Stats.MispredByLevel)
+					t.Addf(name, string(v), stats.Share(sh[0]), stats.Share(sh[1]),
+						stats.Share(sh[2]), stats.Share(sh[3]), stats.Share(sh[4]))
+				}
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: DFD moves the branches' data closer to the core")
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig26",
+		Title: "Fig 26: applying CFD and DFD simultaneously",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 26: speedup of DFD-only, CFD-only, and DFD+CFD",
+				"workload", "dfd", "cfd", "dfd+cfd")
+			for _, s := range withVariant(workload.CFDDFD) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				row := []string{s.Name}
+				for _, v := range []workload.Variant{workload.DFD, workload.CFD, workload.CFDDFD} {
+					res, err := r.Run(RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
+					if err != nil {
+						return err
+					}
+					row = append(row, stats.Ratio(Speedup(base, res)))
+				}
+				t.Add(row...)
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig27",
+		Title: "Fig 27: performance and energy impact of CFD(TQ)",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 27: CFD(TQ) vs base",
+				"workload", "speedup", "energy saved", "TQ pops", "base MPKI", "tq MPKI")
+			for _, s := range withVariant(workload.CFDTQ) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				tq, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.CFDTQ, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				t.Addf(s.Name, stats.Ratio(Speedup(base, tq)), stats.Share(EnergyReduction(base, tq)),
+					tq.Stats.TQPops, base.Stats.MPKI(), tq.Stats.MPKI())
+			}
+			_, err := fmt.Fprintln(w, t)
+			return err
+		},
+	})
+
+	registerExp(&Experiment{
+		ID:    "fig28",
+		Title: "Fig 28: CFD(BQ), CFD(TQ), and CFD(BQ+TQ) combined",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("Fig 28: speedup and energy reduction per mechanism",
+				"workload", "cfdbq", "cfdtq", "cfdbqtq", "bqtq energy")
+			for _, s := range withVariant(workload.CFDBQTQ) {
+				base, err := r.Run(RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
+				if err != nil {
+					return err
+				}
+				row := []string{s.Name}
+				var bqtq *Result
+				for _, v := range []workload.Variant{workload.CFDBQ, workload.CFDTQ, workload.CFDBQTQ} {
+					res, err := r.Run(RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
+					if err != nil {
+						return err
+					}
+					row = append(row, stats.Ratio(Speedup(base, res)))
+					bqtq = res
+				}
+				row = append(row, stats.Share(EnergyReduction(base, bqtq)))
+				t.Add(row...)
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: BQ+TQ gains exceed the sum of individual gains")
+			return err
+		},
+	})
+}

@@ -1,0 +1,167 @@
+// Package harness runs the paper's experiments: for every table and figure
+// in the evaluation (§VII), an experiment function builds the workload
+// variants, runs them on the cycle-level pipeline (and the classifier where
+// appropriate), and prints the same rows or series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cfd/internal/config"
+	"cfd/internal/emu"
+	"cfd/internal/pipeline"
+	"cfd/internal/workload"
+)
+
+// Runner executes and memoizes simulation runs.
+type Runner struct {
+	// Scale multiplies every workload's DefaultN (1.0 = full runs; tests
+	// and quick sweeps use smaller fractions).
+	Scale float64
+	cache map[string]*Result
+}
+
+// NewRunner returns a Runner at the given scale.
+func NewRunner(scale float64) *Runner {
+	return &Runner{Scale: scale, cache: make(map[string]*Result)}
+}
+
+// RunSpec identifies one simulation run.
+type RunSpec struct {
+	Workload   string
+	Variant    workload.Variant
+	Config     config.Core
+	PerfectAll bool // perfect prediction for all conditional branches
+	PerfectCFD bool // perfect prediction for the separable branches only
+	SampleMSHR bool // record the L1 MSHR occupancy histogram (Fig 25a)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec        RunSpec
+	Stats       pipeline.Stats
+	EnergyTotal float64
+	EnergyQueue float64
+	MSHRHist    []uint64
+}
+
+// Speedup returns base cycles over r's cycles; both runs must perform the
+// same architectural work (the workload contract guarantees it).
+func Speedup(base, r *Result) float64 {
+	return float64(base.Stats.Cycles) / float64(r.Stats.Cycles)
+}
+
+// EnergyReduction returns the fractional energy saved versus base.
+func EnergyReduction(base, r *Result) float64 {
+	return 1 - r.EnergyTotal/base.EnergyTotal
+}
+
+// EffIPC returns the paper's effective IPC: baseline retired instructions
+// over this scheme's cycles, so instruction overheads do not flatter a
+// transformation (§VII).
+func EffIPC(base, r *Result) float64 {
+	return float64(base.Stats.Retired) / float64(r.Stats.Cycles)
+}
+
+func (rs RunSpec) key() string {
+	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v", rs.Workload, rs.Variant,
+		rs.Config.Name, rs.Config.BQMissPolicy, rs.PerfectAll, rs.PerfectCFD, rs.SampleMSHR)
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(rs RunSpec) (*Result, error) {
+	if got, ok := r.cache[rs.key()]; ok {
+		return got, nil
+	}
+	s, ok := workload.ByName(rs.Workload)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", rs.Workload)
+	}
+	n := int64(float64(s.DefaultN) * r.Scale)
+	if n < 256 {
+		n = 256
+	}
+	p, m, err := s.Build(rs.Variant, n)
+	if err != nil {
+		return nil, err
+	}
+
+	var opts []pipeline.Option
+	if rs.PerfectAll || rs.PerfectCFD {
+		perfect := map[uint64]bool{}
+		if rs.PerfectCFD {
+			for _, pc := range workload.SeparablePCs(p) {
+				perfect[pc] = true
+			}
+		}
+		oracle := pipeline.NewOracle()
+		em := emu.New(p, m.Clone(), emu.WithTracer(emu.TracerFunc(func(ev emu.Event) {
+			if ev.Inst.Op.IsCondBranch() && (rs.PerfectAll || perfect[ev.PC]) {
+				oracle.Record(ev.PC, ev.Taken)
+			}
+		})))
+		if err := em.Run(500_000_000); err != nil {
+			return nil, fmt.Errorf("harness: oracle pre-run %s/%s: %w", rs.Workload, rs.Variant, err)
+		}
+		opts = append(opts, pipeline.WithOracle(oracle))
+		if rs.PerfectAll {
+			opts = append(opts, pipeline.WithPerfectBP())
+		}
+	}
+	cfg := rs.Config
+	cfg.Cache.SampleMSHRs = rs.SampleMSHR
+	core, err := pipeline.New(cfg, p, m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Run(0); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s on %s: %w", rs.Workload, rs.Variant, cfg.Name, err)
+	}
+	res := &Result{
+		Spec:        rs,
+		Stats:       core.Stats,
+		EnergyTotal: core.Meter.Total(),
+		EnergyQueue: core.Meter.QueueEnergy(),
+		MSHRHist:    core.Hierarchy().Hist,
+	}
+	r.cache[rs.key()] = res
+	return res, nil
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string // "fig18", "table1", ...
+	Title string
+	Run   func(r *Runner, w io.Writer) error
+}
+
+var experiments = map[string]*Experiment{}
+
+func registerExp(e *Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	experiments[e.ID] = e
+}
+
+// ByID returns one experiment.
+func ByID(id string) (*Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// AllExperiments returns every experiment sorted by ID.
+func AllExperiments() []*Experiment {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		out[i] = experiments[id]
+	}
+	return out
+}

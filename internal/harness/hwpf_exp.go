@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cfd/internal/config"
+	"cfd/internal/stats"
+	"cfd/internal/workload"
+)
+
+func init() {
+	registerExp(&Experiment{
+		ID:    "ablation-hwpf",
+		Title: "Hardware next-line prefetcher vs DFD and CFD",
+		Run: func(r *Runner, w io.Writer) error {
+			t := stats.NewTable("speedup vs the matching baseline, with and without a HW next-line prefetcher",
+				"workload", "dfd (no hwpf)", "dfd (hwpf)", "cfd (no hwpf)", "cfd (hwpf)")
+			for _, name := range []string{"mcflike", "soplexlike", "astar1like"} {
+				row := []string{name}
+				for _, v := range []workload.Variant{workload.DFD, workload.CFD} {
+					for _, hwpf := range []bool{false, true} {
+						cfg := config.SandyBridge()
+						cfg.Cache.NextLinePrefetch = hwpf
+						if hwpf {
+							cfg.Name = cfg.Name + "-hwpf"
+						}
+						base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+						if err != nil {
+							return err
+						}
+						res, err := r.Run(RunSpec{Workload: name, Variant: v, Config: cfg})
+						if err != nil {
+							return err
+						}
+						row = append(row, stats.Ratio(Speedup(base, res)))
+					}
+				}
+				t.Add(row...)
+			}
+			fmt.Fprintln(w, t)
+			_, err := fmt.Fprintln(w, "expected shape: a HW prefetcher erodes DFD's advantage on streaming workloads (it duplicates DFD's work) while CFD's misprediction elimination survives")
+			return err
+		},
+	})
+}

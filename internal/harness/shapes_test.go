@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/workload"
+)
+
+// TestPaperShapes asserts the reproduction targets recorded in
+// EXPERIMENTS.md as executable invariants: who wins, in which direction,
+// and where the crossovers fall. Run at a reduced scale; the shapes are
+// scale-stable.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := NewRunner(0.06)
+	base := func(name string) *Result {
+		res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: config.SandyBridge()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	variant := func(name string, v workload.Variant) *Result {
+		res, err := r.Run(RunSpec{Workload: name, Variant: v, Config: config.SandyBridge()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	t.Run("fig18-cfd-wins", func(t *testing.T) {
+		// CFD speeds up every CFD-class workload and removes its
+		// mispredictions.
+		for _, s := range withVariant(workload.CFD) {
+			b, c := base(s.Name), variant(s.Name, workload.CFD)
+			if sp := Speedup(b, c); sp < 1.0 {
+				t.Errorf("%s: CFD speedup %.2f < 1.0", s.Name, sp)
+			}
+			// Full misprediction elimination holds for the decoupled
+			// loops; the hoisting-only workload keeps the speculative
+			// pops' mispredictions (its BQ-miss rate is the point).
+			missRate := 0.0
+			if c.Stats.BQPops > 0 {
+				missRate = float64(c.Stats.BQMisses) / float64(c.Stats.BQPops)
+			}
+			if missRate < 0.1 && c.Stats.MPKI() > b.Stats.MPKI()/5 {
+				t.Errorf("%s: CFD MPKI %.2f not far below base %.2f",
+					s.Name, c.Stats.MPKI(), b.Stats.MPKI())
+			}
+			if EnergyReduction(b, c) < 0 {
+				t.Errorf("%s: CFD increased energy", s.Name)
+			}
+		}
+	})
+
+	t.Run("fig1-perfect-prediction-helps", func(t *testing.T) {
+		for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
+			b := base(name)
+			p, err := r.Run(RunSpec{Workload: name, Variant: workload.Base,
+				Config: config.SandyBridge(), PerfectAll: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Speedup(b, p) < 1.2 {
+				t.Errorf("%s: perfect BP speedup %.2f < 1.2", name, Speedup(b, p))
+			}
+			if p.Stats.Mispredicts != 0 {
+				t.Errorf("%s: perfect BP left %d mispredicts", name, p.Stats.Mispredicts)
+			}
+		}
+	})
+
+	t.Run("fig24-dfd-orderings", func(t *testing.T) {
+		// CFD beats DFD on the streaming workloads; DFD wins the
+		// heavy-overhead astar region (the paper's BigLakes finding).
+		for _, name := range []string{"soplexlike", "mcflike"} {
+			b := base(name)
+			if Speedup(b, variant(name, workload.CFD)) <= Speedup(b, variant(name, workload.DFD)) {
+				t.Errorf("%s: CFD must beat DFD", name)
+			}
+		}
+		b := base("astar1like")
+		if Speedup(b, variant("astar1like", workload.DFD)) <= Speedup(b, variant("astar1like", workload.CFD)) {
+			t.Error("astar1like: DFD must beat CFD (overhead-dominated region)")
+		}
+	})
+
+	t.Run("fig26-combination-wins", func(t *testing.T) {
+		for _, s := range withVariant(workload.CFDDFD) {
+			b := base(s.Name)
+			both := Speedup(b, variant(s.Name, workload.CFDDFD))
+			cfd := Speedup(b, variant(s.Name, workload.CFD))
+			dfd := Speedup(b, variant(s.Name, workload.DFD))
+			if both < cfd || both < dfd {
+				t.Errorf("%s: combined %.2f below cfd %.2f or dfd %.2f", s.Name, both, cfd, dfd)
+			}
+		}
+	})
+
+	t.Run("fig28-superadditive", func(t *testing.T) {
+		b := base("astar2like")
+		tq := Speedup(b, variant("astar2like", workload.CFDTQ)) - 1
+		bq := Speedup(b, variant("astar2like", workload.CFDBQ)) - 1
+		both := Speedup(b, variant("astar2like", workload.CFDBQTQ)) - 1
+		if both < tq+bq-0.03 { // small tolerance
+			t.Errorf("BQ+TQ gain %.2f below sum of parts %.2f", both, tq+bq)
+		}
+	})
+
+	t.Run("fig21c-stall-hurts-only-tiff", func(t *testing.T) {
+		stallCfg := config.SandyBridge()
+		stallCfg.BQMissPolicy = config.StallFetch
+		// tifflike: spec must clearly beat stall.
+		spec := variant("tifflike", workload.CFD)
+		stall, err := r.Run(RunSpec{Workload: "tifflike", Variant: workload.CFD, Config: stallCfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(stall.Stats.Cycles) < 1.1*float64(spec.Stats.Cycles) {
+			t.Errorf("tifflike: stall (%d) must be much slower than spec (%d)",
+				stall.Stats.Cycles, spec.Stats.Cycles)
+		}
+		// soplexlike: policies must be near-identical (no BQ misses).
+		spec2 := variant("soplexlike", workload.CFD)
+		stall2, err := r.Run(RunSpec{Workload: "soplexlike", Variant: workload.CFD, Config: stallCfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(stall2.Stats.Cycles) / float64(spec2.Stats.Cycles)
+		if ratio > 1.02 || ratio < 0.98 {
+			t.Errorf("soplexlike: policies differ by %.3f, want ~1.0", ratio)
+		}
+	})
+
+	t.Run("fig2b-window-scaling-needs-perfect-bp", func(t *testing.T) {
+		small, big := config.Scaled(168), config.Scaled(640)
+		realS, _ := r.Run(RunSpec{Workload: "mcflike", Variant: workload.Base, Config: small})
+		realB, _ := r.Run(RunSpec{Workload: "mcflike", Variant: workload.Base, Config: big})
+		perfS, _ := r.Run(RunSpec{Workload: "mcflike", Variant: workload.Base, Config: small, PerfectAll: true})
+		perfB, _ := r.Run(RunSpec{Workload: "mcflike", Variant: workload.Base, Config: big, PerfectAll: true})
+		gReal := realB.Stats.IPC() / realS.Stats.IPC()
+		gPerf := perfB.Stats.IPC() / perfS.Stats.IPC()
+		if gPerf <= gReal {
+			t.Errorf("window scaling: perfect-BP gain %.2f must exceed real-BP gain %.2f", gPerf, gReal)
+		}
+	})
+
+	t.Run("fig23-astar-cfd-scales-with-window", func(t *testing.T) {
+		small, big := config.Scaled(168), config.Scaled(640)
+		bs, _ := r.Run(RunSpec{Workload: "astar1like", Variant: workload.Base, Config: small})
+		cs, _ := r.Run(RunSpec{Workload: "astar1like", Variant: workload.CFD, Config: small})
+		bb, _ := r.Run(RunSpec{Workload: "astar1like", Variant: workload.Base, Config: big})
+		cb, _ := r.Run(RunSpec{Workload: "astar1like", Variant: workload.CFDDFD, Config: big})
+		if Speedup(bb, cb) <= Speedup(bs, cs) {
+			t.Errorf("astar1like: large-window CFD+DFD gain %.2f must exceed small-window CFD gain %.2f",
+				Speedup(bb, cb), Speedup(bs, cs))
+		}
+	})
+
+	t.Run("fig20-wrong-path-eliminated", func(t *testing.T) {
+		for _, name := range []string{"soplexlike", "mcflike"} {
+			c := variant(name, workload.CFD)
+			wrong := float64(c.Stats.Fetched-c.Stats.Retired) / float64(c.Stats.Fetched)
+			if wrong > 0.05 {
+				t.Errorf("%s: CFD wrong-path share %.1f%%, want ~0", name, 100*wrong)
+			}
+		}
+	})
+}

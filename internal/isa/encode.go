@@ -1,0 +1,64 @@
+package isa
+
+import "fmt"
+
+// Binary encoding of a CFD-RISC instruction in a 64-bit word:
+//
+//	bits 63..56  opcode (8 bits)
+//	bits 55..51  rd     (5 bits)
+//	bits 50..46  rs1    (5 bits)
+//	bits 45..41  rs2    (5 bits)
+//	bits 40..0   imm    (41-bit two's-complement immediate)
+//
+// The wide immediate lets ADDI rd, r0, imm materialize any constant the
+// workloads need in a single instruction.
+
+// ImmBits is the width of the signed immediate field.
+const ImmBits = 41
+
+// MaxImm and MinImm bound the encodable immediate.
+const (
+	MaxImm = int64(1)<<(ImmBits-1) - 1
+	MinImm = -int64(1) << (ImmBits - 1)
+)
+
+// Encode packs the instruction into its 64-bit binary form. It returns an
+// error if the immediate does not fit or a field is out of range.
+func (i Inst) Encode() (uint64, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", uint8(i.Op))
+	}
+	if !i.Rd.Valid() || !i.Rs1.Valid() || !i.Rs2.Valid() {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	if i.Imm > MaxImm || i.Imm < MinImm {
+		return 0, fmt.Errorf("isa: encode %s: immediate %d does not fit in %d bits", i.Op, i.Imm, ImmBits)
+	}
+	w := uint64(i.Op) << 56
+	w |= uint64(i.Rd) << 51
+	w |= uint64(i.Rs1) << 46
+	w |= uint64(i.Rs2) << 41
+	w |= uint64(i.Imm) & (1<<ImmBits - 1)
+	return w, nil
+}
+
+// Decode unpacks a 64-bit word into an instruction. It returns an error for
+// undefined opcodes.
+func Decode(w uint64) (Inst, error) {
+	op := Op(w >> 56)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", uint8(op))
+	}
+	imm := int64(w & (1<<ImmBits - 1))
+	// Sign-extend the 41-bit immediate.
+	if imm&(1<<(ImmBits-1)) != 0 {
+		imm -= 1 << ImmBits
+	}
+	return Inst{
+		Op:  op,
+		Rd:  Reg(w >> 51 & 31),
+		Rs1: Reg(w >> 46 & 31),
+		Rs2: Reg(w >> 41 & 31),
+		Imm: imm,
+	}, nil
+}

@@ -1,0 +1,375 @@
+// Package isa defines CFD-RISC, a 64-bit RISC instruction set with the
+// control-flow decoupling (CFD) co-processor extension described in
+// "Control-Flow Decoupling: An Approach for Timely, Non-speculative
+// Branching" (Sheikh, Tuck, Rotenberg; MICRO 2012 / IEEE TC 2014).
+//
+// The base ISA is a conventional load/store architecture with 32 general
+// purpose 64-bit registers (r0 hardwired to zero), ALU and multiply/divide
+// operations, sign-/zero-extending loads, stores, conditional branches,
+// jumps, conditional moves (the if-conversion primitive the paper relies
+// on), and a software prefetch.
+//
+// The CFD extension adds three architectural queues and their instructions:
+//
+//   - Branch queue (BQ): PushBQ, BranchBQ, MarkBQ, ForwardBQ,
+//     SaveBQ, RestoreBQ. Each entry holds a single taken/not-taken
+//     predicate. BranchBQ pops its predicate instead of reading registers,
+//     so the hardware can resolve it in the fetch stage.
+//   - Value queue (VQ): PushVQ, PopVQ, SaveVQ, RestoreVQ. Each entry holds
+//     a 64-bit value; the microarchitecture maps the VQ onto the physical
+//     register file with a VQ renamer.
+//   - Trip-count queue (TQ): PushTQ, PopTQ, BranchTCR, PopTQOV, SaveTQ,
+//     RestoreTQ. Each entry holds an N-bit trip count; PopTQ loads the
+//     trip-count register (TCR) in the fetch unit and BranchTCR
+//     tests/decrements it, making loop iteration counts timely and
+//     non-speculative.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 general-purpose registers. R0 reads as zero
+// and ignores writes.
+type Reg uint8
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// Zero is the hardwired zero register.
+const Zero Reg = 0
+
+// String returns the assembly name of the register ("r7").
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The order is part of the binary encoding; append only.
+const (
+	// Miscellaneous.
+	NOP  Op = iota // no operation
+	HALT           // stop the machine
+
+	// ALU register-register.
+	ADD  // Rd = Rs1 + Rs2
+	SUB  // Rd = Rs1 - Rs2
+	MUL  // Rd = Rs1 * Rs2
+	DIV  // Rd = Rs1 / Rs2 (signed; x/0 = 0)
+	REM  // Rd = Rs1 % Rs2 (signed; x%0 = x)
+	AND  // Rd = Rs1 & Rs2
+	OR   // Rd = Rs1 | Rs2
+	XOR  // Rd = Rs1 ^ Rs2
+	SHL  // Rd = Rs1 << (Rs2 & 63)
+	SHR  // Rd = Rs1 >> (Rs2 & 63) (logical)
+	SRA  // Rd = Rs1 >> (Rs2 & 63) (arithmetic)
+	SLT  // Rd = 1 if Rs1 < Rs2 (signed) else 0
+	SLTU // Rd = 1 if Rs1 < Rs2 (unsigned) else 0
+	SEQ  // Rd = 1 if Rs1 == Rs2 else 0
+
+	// ALU register-immediate (Imm is a 41-bit signed immediate).
+	ADDI  // Rd = Rs1 + Imm
+	ANDI  // Rd = Rs1 & Imm
+	ORI   // Rd = Rs1 | Imm
+	XORI  // Rd = Rs1 ^ Imm
+	SHLI  // Rd = Rs1 << (Imm & 63)
+	SHRI  // Rd = Rs1 >> (Imm & 63) (logical)
+	SRAI  // Rd = Rs1 >> (Imm & 63) (arithmetic)
+	SLTI  // Rd = 1 if Rs1 < Imm (signed) else 0
+	SLTUI // Rd = 1 if Rs1 < uint64(Imm) (unsigned) else 0
+	SEQI  // Rd = 1 if Rs1 == Imm else 0
+
+	// Conditional moves: the ISA's if-conversion primitive.
+	CMOVZ  // Rd = Rs1 if Rs2 == 0 (else Rd unchanged)
+	CMOVNZ // Rd = Rs1 if Rs2 != 0 (else Rd unchanged)
+
+	// Loads: Rd = mem[Rs1 + Imm], sign- or zero-extended.
+	LD  // 64-bit
+	LW  // 32-bit sign-extended
+	LWU // 32-bit zero-extended
+	LH  // 16-bit sign-extended
+	LHU // 16-bit zero-extended
+	LB  // 8-bit sign-extended
+	LBU // 8-bit zero-extended
+
+	// Stores: mem[Rs1 + Imm] = Rs2 (low bits for narrow stores).
+	SD // 64-bit
+	SW // 32-bit
+	SH // 16-bit
+	SB // 8-bit
+
+	// PREF prefetches the line containing Rs1 + Imm into the L1 data
+	// cache. It never faults and has no destination (DFD's workhorse).
+	PREF
+
+	// Conditional branches: compare Rs1 against Rs2 and transfer control
+	// to PC + Imm when the condition holds.
+	BEQ  // branch if Rs1 == Rs2
+	BNE  // branch if Rs1 != Rs2
+	BLT  // branch if Rs1 < Rs2 (signed)
+	BGE  // branch if Rs1 >= Rs2 (signed)
+	BLTU // branch if Rs1 < Rs2 (unsigned)
+	BGEU // branch if Rs1 >= Rs2 (unsigned)
+
+	// Unconditional control transfers.
+	J   // PC = PC + Imm
+	JAL // Rd = PC + 1; PC = PC + Imm
+	JR  // PC = Rs1 (register-indirect; returns use JR with the link reg)
+
+	// CFD extension: branch queue (BQ).
+	PushBQ    // push (Rs1 != 0) onto the BQ tail
+	BranchBQ  // pop a predicate from the BQ head; branch to PC+Imm if it is 1
+	MarkBQ    // mark the current BQ tail
+	ForwardBQ // bulk-pop BQ entries from head through the most recent mark
+	SaveBQ    // store BQ architectural state to mem[Rs1 + Imm]
+	RestoreBQ // load BQ architectural state from mem[Rs1 + Imm]
+
+	// CFD extension: value queue (VQ).
+	PushVQ    // push the value of Rs1 onto the VQ tail
+	PopVQ     // Rd = value popped from the VQ head
+	SaveVQ    // store VQ architectural state to mem[Rs1 + Imm]
+	RestoreVQ // load VQ architectural state from mem[Rs1 + Imm]
+
+	// CFD extension: trip-count queue (TQ).
+	PushTQ    // push the low TQWidth bits of Rs1 onto the TQ tail (sets the overflow bit if Rs1 >= 2^TQWidth)
+	PopTQ     // pop a trip count from the TQ head into the TCR
+	BranchTCR // if TCR != 0: TCR--, branch to PC+Imm; else fall through
+	PopTQOV   // pop from the TQ into the TCR; branch to PC+Imm if the entry's overflow bit is set
+	SaveTQ    // store TQ architectural state to mem[Rs1 + Imm]
+	RestoreTQ // load TQ architectural state from mem[Rs1 + Imm]
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of defined operation codes.
+const NumOps = int(numOps)
+
+// Inst is a single CFD-RISC instruction. Branch and jump immediates are
+// PC-relative in units of instructions: the target of a taken branch at
+// address pc is pc + Imm.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Target returns the taken-target of a control transfer located at pc.
+func (i Inst) Target(pc uint64) uint64 { return uint64(int64(pc) + i.Imm) }
+
+// Class groups operations by the pipeline resources they use.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches incl. BranchBQ, BranchTCR
+	ClassJump
+	ClassCFD // queue management ops that are not branches
+	ClassHalt
+)
+
+// opInfo is the static metadata table, indexed by Op.
+type opInfo struct {
+	name     string
+	class    Class
+	readsRs1 bool
+	readsRs2 bool
+	writesRd bool
+	hasImm   bool
+}
+
+var opTable = [numOps]opInfo{
+	NOP:  {"nop", ClassNop, false, false, false, false},
+	HALT: {"halt", ClassHalt, false, false, false, false},
+
+	ADD:  {"add", ClassALU, true, true, true, false},
+	SUB:  {"sub", ClassALU, true, true, true, false},
+	MUL:  {"mul", ClassMul, true, true, true, false},
+	DIV:  {"div", ClassDiv, true, true, true, false},
+	REM:  {"rem", ClassDiv, true, true, true, false},
+	AND:  {"and", ClassALU, true, true, true, false},
+	OR:   {"or", ClassALU, true, true, true, false},
+	XOR:  {"xor", ClassALU, true, true, true, false},
+	SHL:  {"shl", ClassALU, true, true, true, false},
+	SHR:  {"shr", ClassALU, true, true, true, false},
+	SRA:  {"sra", ClassALU, true, true, true, false},
+	SLT:  {"slt", ClassALU, true, true, true, false},
+	SLTU: {"sltu", ClassALU, true, true, true, false},
+	SEQ:  {"seq", ClassALU, true, true, true, false},
+
+	ADDI:  {"addi", ClassALU, true, false, true, true},
+	ANDI:  {"andi", ClassALU, true, false, true, true},
+	ORI:   {"ori", ClassALU, true, false, true, true},
+	XORI:  {"xori", ClassALU, true, false, true, true},
+	SHLI:  {"shli", ClassALU, true, false, true, true},
+	SHRI:  {"shri", ClassALU, true, false, true, true},
+	SRAI:  {"srai", ClassALU, true, false, true, true},
+	SLTI:  {"slti", ClassALU, true, false, true, true},
+	SLTUI: {"sltui", ClassALU, true, false, true, true},
+	SEQI:  {"seqi", ClassALU, true, false, true, true},
+
+	CMOVZ:  {"cmovz", ClassALU, true, true, true, false},
+	CMOVNZ: {"cmovnz", ClassALU, true, true, true, false},
+
+	LD:  {"ld", ClassLoad, true, false, true, true},
+	LW:  {"lw", ClassLoad, true, false, true, true},
+	LWU: {"lwu", ClassLoad, true, false, true, true},
+	LH:  {"lh", ClassLoad, true, false, true, true},
+	LHU: {"lhu", ClassLoad, true, false, true, true},
+	LB:  {"lb", ClassLoad, true, false, true, true},
+	LBU: {"lbu", ClassLoad, true, false, true, true},
+
+	SD: {"sd", ClassStore, true, true, false, true},
+	SW: {"sw", ClassStore, true, true, false, true},
+	SH: {"sh", ClassStore, true, true, false, true},
+	SB: {"sb", ClassStore, true, true, false, true},
+
+	PREF: {"pref", ClassLoad, true, false, false, true},
+
+	BEQ:  {"beq", ClassBranch, true, true, false, true},
+	BNE:  {"bne", ClassBranch, true, true, false, true},
+	BLT:  {"blt", ClassBranch, true, true, false, true},
+	BGE:  {"bge", ClassBranch, true, true, false, true},
+	BLTU: {"bltu", ClassBranch, true, true, false, true},
+	BGEU: {"bgeu", ClassBranch, true, true, false, true},
+
+	J:   {"j", ClassJump, false, false, false, true},
+	JAL: {"jal", ClassJump, false, false, true, true},
+	JR:  {"jr", ClassJump, true, false, false, false},
+
+	PushBQ:    {"push_bq", ClassCFD, true, false, false, false},
+	BranchBQ:  {"branch_bq", ClassBranch, false, false, false, true},
+	MarkBQ:    {"mark_bq", ClassCFD, false, false, false, false},
+	ForwardBQ: {"forward_bq", ClassCFD, false, false, false, false},
+	SaveBQ:    {"save_bq", ClassCFD, true, false, false, true},
+	RestoreBQ: {"restore_bq", ClassCFD, true, false, false, true},
+
+	PushVQ:    {"push_vq", ClassCFD, true, false, false, false},
+	PopVQ:     {"pop_vq", ClassCFD, false, false, true, false},
+	SaveVQ:    {"save_vq", ClassCFD, true, false, false, true},
+	RestoreVQ: {"restore_vq", ClassCFD, true, false, false, true},
+
+	PushTQ:    {"push_tq", ClassCFD, true, false, false, false},
+	PopTQ:     {"pop_tq", ClassCFD, false, false, false, false},
+	BranchTCR: {"branch_tcr", ClassBranch, false, false, false, true},
+	PopTQOV:   {"pop_tq_ov", ClassBranch, false, false, false, true},
+	SaveTQ:    {"save_tq", ClassCFD, true, false, false, true},
+	RestoreTQ: {"restore_tq", ClassCFD, true, false, false, true},
+}
+
+// Valid reports whether op is a defined operation code.
+func (op Op) Valid() bool { return op < numOps }
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the pipeline class of the operation.
+func (op Op) Class() Class {
+	if !op.Valid() {
+		return ClassNop
+	}
+	return opTable[op].class
+}
+
+// ReadsRs1 reports whether the operation reads its Rs1 register.
+func (op Op) ReadsRs1() bool { return op.Valid() && opTable[op].readsRs1 }
+
+// ReadsRs2 reports whether the operation reads its Rs2 register.
+func (op Op) ReadsRs2() bool { return op.Valid() && opTable[op].readsRs2 }
+
+// WritesRd reports whether the operation writes its Rd register.
+func (op Op) WritesRd() bool { return op.Valid() && opTable[op].writesRd }
+
+// HasImm reports whether the operation uses its immediate field.
+func (op Op) HasImm() bool { return op.Valid() && opTable[op].hasImm }
+
+// IsCondBranch reports whether op is a conditional control transfer whose
+// direction must be known at fetch (predicted or, for CFD pops, supplied by
+// a queue).
+func (op Op) IsCondBranch() bool { return op.Class() == ClassBranch }
+
+// IsControl reports whether op can redirect the PC.
+func (op Op) IsControl() bool {
+	c := op.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsLoad reports whether op reads data memory (PREF counts: it occupies a
+// memory port and touches the cache, but it has no destination).
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsCFD reports whether op belongs to the CFD co-processor extension.
+func (op Op) IsCFD() bool {
+	switch op {
+	case PushBQ, BranchBQ, MarkBQ, ForwardBQ, SaveBQ, RestoreBQ,
+		PushVQ, PopVQ, SaveVQ, RestoreVQ,
+		PushTQ, PopTQ, BranchTCR, PopTQOV, SaveTQ, RestoreTQ:
+		return true
+	}
+	return false
+}
+
+// OpByName returns the operation with the given assembly mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	info := opTable[i.Op]
+	switch i.Op {
+	case NOP, HALT, MarkBQ, ForwardBQ, PopTQ:
+		return info.name
+	case PushBQ, PushVQ, PushTQ, JR:
+		return fmt.Sprintf("%s %s", info.name, i.Rs1)
+	case PopVQ:
+		return fmt.Sprintf("%s %s", info.name, i.Rd)
+	case BranchBQ, BranchTCR, PopTQOV, J:
+		return fmt.Sprintf("%s %+d", info.name, i.Imm)
+	case JAL:
+		return fmt.Sprintf("%s %s, %+d", info.name, i.Rd, i.Imm)
+	case SaveBQ, RestoreBQ, SaveVQ, RestoreVQ, SaveTQ, RestoreTQ, PREF:
+		return fmt.Sprintf("%s %d(%s)", info.name, i.Imm, i.Rs1)
+	}
+	switch {
+	case i.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, i.Rd, i.Imm, i.Rs1)
+	case i.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, i.Rs2, i.Imm, i.Rs1)
+	case i.Op.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %+d", info.name, i.Rs1, i.Rs2, i.Imm)
+	case info.hasImm:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, i.Rd, i.Rs1, i.Imm)
+	case info.writesRd && info.readsRs2:
+		return fmt.Sprintf("%s %s, %s, %s", info.name, i.Rd, i.Rs1, i.Rs2)
+	case info.writesRd:
+		return fmt.Sprintf("%s %s, %s", info.name, i.Rd, i.Rs1)
+	default:
+		return info.name
+	}
+}

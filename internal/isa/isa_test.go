@@ -1,0 +1,190 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpMetadataComplete(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("op %d has no metadata entry", uint8(op))
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", op.String())
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted an undefined mnemonic")
+	}
+}
+
+func TestClassConsistency(t *testing.T) {
+	// Every conditional branch must use its immediate as a target and
+	// must never write a destination register.
+	for op := Op(0); op < numOps; op++ {
+		if op.IsCondBranch() {
+			if op.WritesRd() {
+				t.Errorf("%v: conditional branch writes rd", op)
+			}
+			if !op.HasImm() {
+				t.Errorf("%v: conditional branch without target immediate", op)
+			}
+		}
+	}
+	// Loads write rd except PREF; stores never do.
+	for _, op := range []Op{LD, LW, LWU, LH, LHU, LB, LBU} {
+		if !op.WritesRd() || !op.IsLoad() {
+			t.Errorf("%v: bad load metadata", op)
+		}
+	}
+	if PREF.WritesRd() {
+		t.Error("PREF must not write a destination")
+	}
+	for _, op := range []Op{SD, SW, SH, SB} {
+		if op.WritesRd() || !op.IsStore() || !op.ReadsRs2() {
+			t.Errorf("%v: bad store metadata", op)
+		}
+	}
+}
+
+func TestCFDOpsClassified(t *testing.T) {
+	cfd := []Op{PushBQ, BranchBQ, MarkBQ, ForwardBQ, SaveBQ, RestoreBQ,
+		PushVQ, PopVQ, SaveVQ, RestoreVQ,
+		PushTQ, PopTQ, BranchTCR, PopTQOV, SaveTQ, RestoreTQ}
+	for _, op := range cfd {
+		if !op.IsCFD() {
+			t.Errorf("%v: IsCFD() = false", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, SD, BEQ, J, NOP, HALT, CMOVZ} {
+		if op.IsCFD() {
+			t.Errorf("%v: IsCFD() = true", op)
+		}
+	}
+	// Queue pops that branch resolve in the fetch stage: they must be
+	// classified as branches so the fetch unit handles them.
+	for _, op := range []Op{BranchBQ, BranchTCR, PopTQOV} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v: must be a conditional branch", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Inst {
+		return Inst{
+			Op:  Op(rng.Intn(NumOps)),
+			Rd:  Reg(rng.Intn(NumRegs)),
+			Rs1: Reg(rng.Intn(NumRegs)),
+			Rs2: Reg(rng.Intn(NumRegs)),
+			Imm: rng.Int63n(MaxImm-MinImm+1) + MinImm,
+		}
+	}
+	for n := 0; n < 10000; n++ {
+		in := gen()
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", w, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	// Property: any decodable word re-encodes to itself.
+	f := func(w uint64) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // undefined opcode; nothing to check
+		}
+		back, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return back == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsBadImmediates(t *testing.T) {
+	for _, imm := range []int64{MaxImm + 1, MinImm - 1, 1 << 50, -(1 << 50)} {
+		in := Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: imm}
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("Encode accepted out-of-range immediate %d", imm)
+		}
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint64(numOps) << 56); err == nil {
+		t.Error("Decode accepted an undefined opcode")
+	}
+}
+
+func TestTarget(t *testing.T) {
+	b := Inst{Op: BEQ, Imm: -3}
+	if got := b.Target(10); got != 7 {
+		t.Errorf("Target(10) = %d, want 7", got)
+	}
+	f := Inst{Op: J, Imm: 5}
+	if got := f.Target(100); got != 105 {
+		t.Errorf("Target(100) = %d, want 105", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 4, Rs1: 0, Imm: 42}, "addi r4, r0, 42"},
+		{Inst{Op: LD, Rd: 5, Rs1: 6, Imm: 16}, "ld r5, 16(r6)"},
+		{Inst{Op: SD, Rs1: 6, Rs2: 7, Imm: -8}, "sd r7, -8(r6)"},
+		{Inst{Op: BNE, Rs1: 1, Rs2: 0, Imm: -4}, "bne r1, r0, -4"},
+		{Inst{Op: PushBQ, Rs1: 9}, "push_bq r9"},
+		{Inst{Op: BranchBQ, Imm: 7}, "branch_bq +7"},
+		{Inst{Op: MarkBQ}, "mark_bq"},
+		{Inst{Op: ForwardBQ}, "forward_bq"},
+		{Inst{Op: PopVQ, Rd: 3}, "pop_vq r3"},
+		{Inst{Op: PopTQ}, "pop_tq"},
+		{Inst{Op: BranchTCR, Imm: -9}, "branch_tcr -9"},
+		{Inst{Op: PREF, Rs1: 2, Imm: 64}, "pref 64(r2)"},
+		{Inst{Op: CMOVNZ, Rd: 1, Rs1: 2, Rs2: 3}, "cmovnz r1, r2, r3"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Zero.String() != "r0" {
+		t.Errorf("Zero.String() = %q", Zero.String())
+	}
+	if !Reg(31).Valid() || Reg(32).Valid() {
+		t.Error("Reg.Valid boundary wrong")
+	}
+}

@@ -1,0 +1,156 @@
+// Package mem provides the sparse, paged data memory that backs both the
+// functional emulator (architectural state) and the cycle-level pipeline
+// (committed state updated at retirement).
+package mem
+
+import "encoding/binary"
+
+// PageSize is the granularity of backing allocation.
+const PageSize = 4096
+
+type page [PageSize]byte
+
+// Memory is a sparse 64-bit byte-addressable memory. The zero value is not
+// usable; call New. Unwritten bytes read as zero.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	pn := addr / PageSize
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%PageSize]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr%PageSize] = b
+}
+
+// Read returns size bytes (1, 2, 4, or 8) at addr as a little-endian,
+// zero-extended value. Accesses may cross page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes (1, 2, 4, or 8) of val at addr,
+// little-endian.
+func (m *Memory) Write(addr uint64, size int, val uint64) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(val>>(8*i)))
+	}
+}
+
+// LoadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) LoadBytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.LoadByte(addr + uint64(i))
+	}
+}
+
+// StoreBytes copies src into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// WriteUint64s stores a slice of 64-bit values contiguously at addr and
+// returns the address one past the end.
+func (m *Memory) WriteUint64s(addr uint64, vals []uint64) uint64 {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		m.StoreBytes(addr, buf[:])
+		addr += 8
+	}
+	return addr
+}
+
+// Clone returns a deep copy of the memory.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents (treating
+// absent pages as zero-filled).
+func (m *Memory) Equal(o *Memory) bool {
+	check := func(a, b *Memory) bool {
+		for pn, p := range a.pages {
+			q := b.pages[pn]
+			if q == nil {
+				if *p != (page{}) {
+					return false
+				}
+				continue
+			}
+			if *p != *q {
+				return false
+			}
+		}
+		return true
+	}
+	return check(m, o) && check(o, m)
+}
+
+// Checksum returns an order-independent-free (deterministic, order-defined)
+// FNV-1a hash over all nonzero pages; useful for workload output
+// verification.
+func (m *Memory) Checksum() uint64 {
+	// Hash pages in ascending page-number order for determinism.
+	var pns []uint64
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	// insertion sort (page counts are small)
+	for i := 1; i < len(pns); i++ {
+		for j := i; j > 0 && pns[j] < pns[j-1]; j-- {
+			pns[j], pns[j-1] = pns[j-1], pns[j]
+		}
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, pn := range pns {
+		p := m.pages[pn]
+		if *p == (page{}) {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			h ^= pn >> (8 * i) & 0xff
+			h *= prime
+		}
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
+}

@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	m.Write(100, 8, 0x1122334455667788)
+	if got := m.Read(100, 8); got != 0x1122334455667788 {
+		t.Fatalf("Read8 = %#x", got)
+	}
+	if got := m.Read(100, 4); got != 0x55667788 {
+		t.Errorf("Read4 = %#x", got)
+	}
+	if got := m.Read(100, 2); got != 0x7788 {
+		t.Errorf("Read2 = %#x", got)
+	}
+	if got := m.Read(100, 1); got != 0x88 {
+		t.Errorf("Read1 = %#x", got)
+	}
+	if got := m.Read(104, 4); got != 0x11223344 {
+		t.Errorf("Read4 high = %#x", got)
+	}
+}
+
+func TestPageCrossing(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3)
+	m.Write(addr, 8, 0xdeadbeefcafebabe)
+	if got := m.Read(addr, 8); got != 0xdeadbeefcafebabe {
+		t.Fatalf("page-crossing read = %#x", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New()
+	if got := m.Read(1<<40, 8); got != 0 {
+		t.Errorf("unwritten = %#x, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Write(8, 8, 42)
+	c := m.Clone()
+	c.Write(8, 8, 99)
+	if m.Read(8, 8) != 42 {
+		t.Error("Clone shares storage with original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestEqualTreatsZeroPagesAsAbsent(t *testing.T) {
+	a, b := New(), New()
+	a.Write(0, 8, 0) // allocates an all-zero page
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("all-zero page must compare equal to absent page")
+	}
+	a.Write(0, 1, 1)
+	if a.Equal(b) {
+		t.Error("differing memories compare equal")
+	}
+}
+
+func TestChecksumDetectsChanges(t *testing.T) {
+	a := New()
+	a.WriteUint64s(0x1000, []uint64{1, 2, 3})
+	c1 := a.Checksum()
+	a.Write(0x1000, 8, 9)
+	if a.Checksum() == c1 {
+		t.Error("checksum unchanged after write")
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	build := func(order []uint64) uint64 {
+		m := New()
+		for _, a := range order {
+			m.Write(a*PageSize, 8, a+1)
+		}
+		return m.Checksum()
+	}
+	if build([]uint64{1, 5, 3}) != build([]uint64{3, 1, 5}) {
+		t.Error("checksum depends on write order")
+	}
+}
+
+func TestWriteUint64sReturnsEnd(t *testing.T) {
+	m := New()
+	end := m.WriteUint64s(64, []uint64{7, 8})
+	if end != 80 {
+		t.Errorf("end = %d, want 80", end)
+	}
+	if m.Read(72, 8) != 8 {
+		t.Errorf("second value = %d", m.Read(72, 8))
+	}
+}
+
+func TestReadWriteProperty(t *testing.T) {
+	f := func(addr uint64, val uint64) bool {
+		addr %= 1 << 30
+		m := New()
+		m.Write(addr, 8, val)
+		return m.Read(addr, 8) == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New()
+	src := []byte{1, 2, 3, 4, 5}
+	m.StoreBytes(PageSize-2, src)
+	dst := make([]byte, 5)
+	m.LoadBytes(PageSize-2, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d, want %d", i, dst[i], src[i])
+		}
+	}
+}

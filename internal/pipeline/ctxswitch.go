@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"cfd/internal/core"
+	"cfd/internal/isa"
+)
+
+// Queue save/restore (context-switch) support. These instructions
+// serialize the pipeline — fetch stalls until the window drains, at which
+// point speculative queue state equals architectural state — then execute
+// architecturally against committed memory, modeled with a fixed
+// serialization latency on top of the drain (the decode-cracked loads and
+// stores of §IV-B2's macro expansion).
+//
+// ctxSwitchLatency approximates the cracked pop/store (or load/push)
+// sequence: one memory operation per occupied entry plus fixed overhead.
+const ctxSwitchOverhead = 8
+
+// isCtxSwitch reports whether op is a queue save/restore instruction.
+func isCtxSwitch(op isa.Op) bool {
+	switch op {
+	case isa.SaveBQ, isa.RestoreBQ, isa.SaveVQ, isa.RestoreVQ, isa.SaveTQ, isa.RestoreTQ:
+		return true
+	}
+	return false
+}
+
+// fetchCtxSwitch handles a save/restore at fetch: stall until the machine
+// drains, then apply the operation architecturally and emit a pre-executed
+// uop whose completion models the serialization latency.
+func (c *Core) fetchCtxSwitch(u *uop) (stall bool, err error) {
+	if c.robCount() > 0 || c.fqLen() > 0 {
+		return true, nil // serialize: drain first
+	}
+	addr := c.committedReg(u.inst.Rs1) + uint64(u.inst.Imm)
+	lat := uint64(ctxSwitchOverhead)
+	switch u.inst.Op {
+	case isa.SaveBQ:
+		q, n := c.archBQ()
+		c.mem.StoreBytes(addr, q.Save())
+		lat += uint64(n)
+	case isa.RestoreBQ:
+		q := core.NewBQ(c.bq.size)
+		img := make([]byte, q.ImageSize())
+		c.mem.LoadBytes(addr, img)
+		if err := q.Restore(img); err != nil {
+			return false, err
+		}
+		// Reset the hardware BQ: contents at the front, pushed bits set.
+		c.bq.specHead, c.bq.commHead, c.bq.specTail = 0, 0, 0
+		c.bq.markOK = false
+		for _, pred := range q.Contents() {
+			e := &c.bq.entries[c.bq.specTail%uint64(c.bq.size)]
+			*e = bqEntryHW{pred: pred, pushed: true}
+			c.bq.specTail++
+		}
+		lat += uint64(q.Len())
+	case isa.SaveTQ:
+		q, n := c.archTQ()
+		c.mem.StoreBytes(addr, q.Save())
+		lat += uint64(n)
+	case isa.RestoreTQ:
+		q := core.NewTQ(c.tq.size)
+		img := make([]byte, q.ImageSize())
+		c.mem.LoadBytes(addr, img)
+		if err := q.Restore(img); err != nil {
+			return false, err
+		}
+		c.tq.specHead, c.tq.commHead, c.tq.specTail = 0, 0, 0
+		for _, e := range q.Contents() {
+			hw := &c.tq.entries[c.tq.specTail%uint64(c.tq.size)]
+			*hw = tqEntryHW{count: e.Count, overflow: e.Overflow, pushed: true}
+			c.tq.specTail++
+		}
+		lat += uint64(q.Len())
+	case isa.SaveVQ:
+		q, n := c.archVQ()
+		c.mem.StoreBytes(addr, q.Save())
+		lat += uint64(n)
+	case isa.RestoreVQ:
+		q := core.NewVQ(c.vq.size)
+		img := make([]byte, q.ImageSize())
+		c.mem.LoadBytes(addr, img)
+		if err := q.Restore(img); err != nil {
+			return false, err
+		}
+		// Drop the old in-queue registers back to the freelist, then
+		// allocate fresh ones for the restored values (the cracked
+		// load+push sequence of §IV-B2).
+		for c.vq.commHead < c.vq.specTail {
+			c.freePreg(c.vq.mapping[c.vq.commHead%uint64(c.vq.size)])
+			c.vq.commHead++
+		}
+		c.vq.specHead, c.vq.commHead, c.vq.specTail = 0, 0, 0
+		for _, v := range q.Contents() {
+			pr := c.allocPreg()
+			c.prf[pr] = v
+			c.prfReady[pr] = true
+			c.vq.mapping[c.vq.specTail%uint64(c.vq.size)] = pr
+			c.vq.specTail++
+		}
+		lat += uint64(q.Len())
+	}
+	u.resolvedFetch = true
+	// The cracked sequence serializes the front end.
+	c.fetchStallTill = c.now + lat
+	return false, nil
+}
+
+// committedReg reads an architectural register value; with the window
+// drained the RMT maps logical registers to their committed physicals.
+func (c *Core) committedReg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return c.prf[c.rmt[r]]
+}
+
+// archBQ reconstructs the architectural BQ (committed head through
+// speculative tail; identical when drained) and its occupancy.
+func (c *Core) archBQ() (*core.BQ, int) {
+	q := core.NewBQ(c.bq.size)
+	n := 0
+	for pos := c.bq.commHead; pos < c.bq.specTail; pos++ {
+		_ = q.Push(c.bq.entries[pos%uint64(c.bq.size)].pred)
+		n++
+	}
+	return q, n
+}
+
+func (c *Core) archTQ() (*core.TQ, int) {
+	q := core.NewTQ(c.tq.size)
+	n := 0
+	for pos := c.tq.commHead; pos < c.tq.specTail; pos++ {
+		e := c.tq.entries[pos%uint64(c.tq.size)]
+		if e.overflow {
+			_ = q.Push(uint64(maxTripCount) + 1)
+		} else {
+			_ = q.Push(uint64(e.count))
+		}
+		n++
+	}
+	return q, n
+}
+
+func (c *Core) archVQ() (*core.VQ, int) {
+	q := core.NewVQ(c.vq.size)
+	n := 0
+	for pos := c.vq.commHead; pos < c.vq.specTail; pos++ {
+		_ = q.Push(c.prf[c.vq.mapping[pos%uint64(c.vq.size)]])
+		n++
+	}
+	return q, n
+}

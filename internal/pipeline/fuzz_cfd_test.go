@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// TestRandomCFDDifferential generates randomized but ISA-legal CFD
+// programs — chunks of pushes followed by matching pops, interleaved VQ
+// traffic, TQ-driven inner loops, occasional Mark/Forward bulk-pops, and
+// data-dependent hammocks to keep the recovery machinery busy — and
+// cross-checks the pipeline against the emulator. This is the corner-case
+// net for BQ/TQ/VQ state repair under misprediction recovery.
+func TestRandomCFDDifferential(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			p, m := randomCFDProgram(seed)
+			runBoth(t, testConfig(), p, m)
+		})
+	}
+}
+
+func randomCFDProgram(seed int64) (*prog.Program, *mem.Memory) {
+	rng := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder()
+	const dataBase = 0x40000
+	lbl := func(s string, i int) string { return fmt.Sprintf("%s_%d", s, i) }
+
+	b.Li(1, dataBase) // data cursor
+	b.Li(12, 0)       // accumulator
+	b.Li(13, 0)       // out index
+	b.Li(14, 0x90000) // out base
+
+	chunks := 4 + rng.Intn(4)
+	for c := 0; c < chunks; c++ {
+		k := 1 + rng.Intn(16) // pushes in this chunk
+		useVQ := rng.Intn(2) == 0
+		useMark := rng.Intn(2) == 0
+		// Generation loop: k pushes of data-dependent predicates.
+		b.Li(2, int64(k))
+		b.Label(lbl("gen", c))
+		b.Load(isa.LD, 3, 1, 0)
+		b.I(isa.ANDI, 4, 3, 1)
+		b.PushBQ(4)
+		if useVQ {
+			b.PushVQ(3)
+		}
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, lbl("gen", c))
+		if useMark {
+			b.MarkBQ()
+		}
+		// Consumption loop: j pops; if marked, j may undershoot and
+		// Forward cleans the rest (the early-exit idiom). Unpopped VQ
+		// values are popped unconditionally to keep VQ balance.
+		j := k
+		if useMark && k > 1 {
+			j = 1 + rng.Intn(k)
+		}
+		b.Li(2, int64(j))
+		b.Label(lbl("use", c))
+		if useVQ {
+			b.PopVQ(5)
+			b.R(isa.ADD, 12, 12, 5)
+		}
+		b.Note("random pred", prog.SeparableTotal)
+		b.BranchBQ(lbl("work", c))
+		b.Jump(lbl("skip", c))
+		b.Label(lbl("work", c))
+		b.I(isa.ADDI, 12, 12, 3)
+		b.I(isa.SHLI, 6, 13, 3)
+		b.R(isa.ADD, 6, 6, 14)
+		b.Store(isa.SD, 12, 6, 0)
+		b.I(isa.ADDI, 13, 13, 1)
+		b.Label(lbl("skip", c))
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, lbl("use", c))
+		if useMark {
+			b.ForwardBQ()
+			// Drain the VQ values whose BQ twins were bulk-popped.
+			if useVQ && j < k {
+				b.Li(2, int64(k-j))
+				b.Label(lbl("vqdrain", c))
+				b.PopVQ(5)
+				b.R(isa.XOR, 12, 12, 5)
+				b.I(isa.ADDI, 2, 2, -1)
+				b.Branch(isa.BNE, 2, 0, lbl("vqdrain", c))
+			}
+		}
+		// Occasionally a TQ-driven inner loop between chunks.
+		if rng.Intn(2) == 0 {
+			trips := rng.Intn(6)
+			b.Li(7, int64(trips))
+			b.PushTQ(7)
+			b.PopTQ()
+			b.Jump(lbl("tqt", c))
+			b.Label(lbl("tqb", c))
+			b.I(isa.ADDI, 12, 12, 1)
+			b.Label(lbl("tqt", c))
+			b.BranchTCR(lbl("tqb", c))
+		}
+		// A plain data-dependent hammock to provoke recoveries around
+		// the queue operations.
+		b.Load(isa.LD, 3, 1, 0)
+		b.I(isa.ANDI, 4, 3, 3)
+		b.Branch(isa.BNE, 4, 0, lbl("h", c))
+		b.R(isa.SUB, 12, 12, 3)
+		b.Label(lbl("h", c))
+	}
+	b.Li(6, 0x98000)
+	b.Store(isa.SD, 12, 6, 0)
+	b.Store(isa.SD, 13, 6, 8)
+	b.Halt()
+
+	m := mem.New()
+	vals := make([]uint64, 1024)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+	}
+	m.WriteUint64s(dataBase, vals)
+	return b.MustBuild(), m
+}
+
+// TestRandomCFDDifferentialStallPolicy reruns a few seeds under the
+// stall-on-miss policy (different fetch-unit path).
+func TestRandomCFDDifferentialStallPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.BQMissPolicy = config.StallFetch
+	for seed := int64(200); seed < 204; seed++ {
+		p, m := randomCFDProgram(seed)
+		runBoth(t, cfg, p, m)
+	}
+}
+
+// TestRandomCFDDifferentialTinyWindow stresses recovery with scarce
+// resources.
+func TestRandomCFDDifferentialTinyWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.ROBSize = 24
+	cfg.IQSize = 6
+	cfg.LQSize = 6
+	cfg.SQSize = 4
+	cfg.NumPhysRegs = 24 + 150
+	cfg.NumCheckpoints = 2
+	cfg.Name = "fuzz-tiny"
+	for seed := int64(300); seed < 306; seed++ {
+		p, m := randomCFDProgram(seed)
+		runBoth(t, cfg, p, m)
+	}
+}

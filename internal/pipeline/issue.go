@@ -1,0 +1,482 @@
+package pipeline
+
+import (
+	"cfd/internal/cache"
+	"cfd/internal/emu"
+	"cfd/internal/energy"
+	"cfd/internal/isa"
+)
+
+// wrong-path addresses above this bound skip the cache model (a real core
+// would fault; garbage addresses must not pollute the timing state).
+const addrLimit = uint64(1) << 40
+
+type port uint8
+
+const (
+	portALU port = iota
+	portMem
+	portBr
+)
+
+func portFor(op isa.Op) (port, bool) {
+	switch op.Class() {
+	case isa.ClassLoad, isa.ClassStore:
+		return portMem, false
+	case isa.ClassBranch, isa.ClassJump:
+		return portBr, false
+	case isa.ClassMul, isa.ClassDiv:
+		return portALU, true
+	default:
+		return portALU, false
+	}
+}
+
+// issue selects ready instructions from the issue queue — oldest first, up
+// to IssueWidth and the per-port limits — and executes them: values are
+// computed here (execute-at-execute) and completion is scheduled after the
+// operation latency (loads: when the cache hierarchy delivers the line).
+func (c *Core) issue() {
+	c.agenStores()
+	aluLeft := c.cfg.ALUPorts
+	memLeft := c.cfg.MemPorts
+	brLeft := c.cfg.BrPorts
+	mulDivLeft := 1
+	issued := 0
+
+	kept := c.iq[:0]
+	for qi, pos := range c.iq {
+		u := c.robAt(pos)
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, c.iq[qi:]...)
+			break
+		}
+		p, isMulDiv := portFor(u.inst.Op)
+		avail := false
+		switch p {
+		case portALU:
+			avail = aluLeft > 0 && (!isMulDiv || mulDivLeft > 0)
+		case portMem:
+			avail = memLeft > 0
+		case portBr:
+			avail = brLeft > 0
+		}
+		if !avail || !c.ready(u) {
+			kept = append(kept, pos)
+			continue
+		}
+		if !c.execute(u, pos) {
+			kept = append(kept, pos) // load blocked on a store conflict
+			continue
+		}
+		issued++
+		switch p {
+		case portALU:
+			aluLeft--
+			if isMulDiv {
+				mulDivLeft--
+			}
+		case portMem:
+			memLeft--
+		case portBr:
+			brLeft--
+		}
+		u.issued = true
+		c.Meter.Add(energy.IQIssue, 1)
+	}
+	c.iq = kept
+}
+
+// ready reports whether all source operands are available and, for loads,
+// whether every older store has resolved its address and data.
+func (c *Core) ready(u *uop) bool {
+	if u.psrc1 >= 0 && !c.prfReady[u.psrc1] {
+		return false
+	}
+	if u.psrc2 >= 0 && !c.prfReady[u.psrc2] {
+		return false
+	}
+	if u.psrc3 >= 0 && !c.prfReady[u.psrc3] {
+		return false
+	}
+	if u.vqSrcPreg >= 0 && !c.prfReady[u.vqSrcPreg] {
+		return false
+	}
+	if u.isLoad {
+		for pos := c.sqHead; pos < c.sqTail; pos++ {
+			e := &c.sq[pos%uint64(len(c.sq))]
+			if e.seq >= u.seq {
+				break
+			}
+			if !e.addrOK {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// agenStores resolves store addresses as soon as the base register is
+// ready, independent of the data operand, so memory disambiguation does not
+// serialize younger loads behind pending store data.
+func (c *Core) agenStores() {
+	for pos := c.sqHead; pos < c.sqTail; pos++ {
+		e := &c.sq[pos%uint64(len(c.sq))]
+		if e.addrOK {
+			continue
+		}
+		u := c.robAt(e.robPos)
+		if u.seq != e.seq || u.squashed {
+			continue
+		}
+		if u.psrc1 >= 0 && c.prfReady[u.psrc1] {
+			e.addr = c.prf[u.psrc1] + uint64(u.inst.Imm)
+			e.size = emu.StoreSize(u.inst.Op)
+			e.addrOK = true
+		}
+	}
+}
+
+func (c *Core) readSrc(pr int32) (uint64, cache.ServiceLevel) {
+	if pr < 0 {
+		return 0, cache.NoData
+	}
+	c.Meter.Add(energy.PRFRead, 1)
+	return c.prf[pr], c.prfLevel[pr]
+}
+
+// execute computes a uop's result and schedules its completion. It returns
+// false when a load must wait for a conflicting store to drain.
+func (c *Core) execute(u *uop, pos uint64) bool {
+	op := u.inst.Op
+	v1, l1 := c.readSrc(u.psrc1)
+	v2, l2 := c.readSrc(u.psrc2)
+	taint := cache.Max(l1, l2)
+	lat := uint64(1)
+
+	switch {
+	case op.IsLoad() && op != isa.PREF:
+		addr := v1 + uint64(u.inst.Imm)
+		u.addr = addr
+		size := emu.LoadSize(op)
+		val, fwd, wait := c.sqLookup(u.seq, addr, size)
+		if wait {
+			return false
+		}
+		c.Meter.Add(energy.AGU, 1)
+		c.Meter.Add(energy.LSQOp, 1)
+		var lvl cache.ServiceLevel = cache.L1
+		if fwd {
+			lat = c.cfg.Cache.L1.Latency
+		} else {
+			val = c.mem.Read(addr, size)
+			if addr < addrLimit {
+				done, sl := c.hier.Access(addr, c.now)
+				lat = done - c.now
+				lvl = sl
+				c.chargeMemEnergy(sl)
+			} else {
+				lat = c.cfg.Cache.L1.Latency
+			}
+		}
+		u.memLevel = lvl
+		if u.pdst >= 0 {
+			c.prf[u.pdst] = emu.ExtendLoad(op, val)
+			c.prfLevel[u.pdst] = cache.Max(taint, lvl)
+			c.Meter.Add(energy.PRFWrite, 1)
+		}
+
+	case op == isa.PREF:
+		addr := v1 + uint64(u.inst.Imm)
+		u.addr = addr
+		c.Meter.Add(energy.AGU, 1)
+		if addr < addrLimit {
+			c.hier.Prefetch(addr, c.now)
+			c.Meter.Add(energy.L1Access, 1)
+		}
+
+	case op.IsStore():
+		addr := v1 + uint64(u.inst.Imm)
+		size := emu.StoreSize(op)
+		u.addr, u.storeData, u.storeSize = addr, v2&sizeMask(size), size
+		e := &c.sq[u.sqPos%uint64(len(c.sq))]
+		e.addr, e.size, e.addrOK = addr, size, true
+		e.data, e.dataOK = u.storeData, true
+		c.Meter.Add(energy.AGU, 1)
+		c.Meter.Add(energy.LSQOp, 1)
+
+	case op == isa.PushBQ:
+		u.actTaken = v1 != 0
+		u.srcLevel = taint
+		c.Meter.Add(energy.ALUOp, 1)
+
+	case op == isa.PushTQ:
+		u.storeData = v1
+		u.srcLevel = taint
+		c.Meter.Add(energy.ALUOp, 1)
+
+	case op == isa.PushVQ:
+		c.prf[u.pdst] = v1
+		c.prfLevel[u.pdst] = taint
+		c.Meter.Add(energy.PRFWrite, 1)
+		c.Meter.Add(energy.ALUOp, 1)
+
+	case op == isa.PopVQ:
+		v, lvl := c.readSrc(u.vqSrcPreg)
+		c.prf[u.pdst] = v
+		c.prfLevel[u.pdst] = lvl
+		c.Meter.Add(energy.PRFWrite, 1)
+		c.Meter.Add(energy.ALUOp, 1)
+
+	case u.isCond: // BEQ..BGEU (queue pops never reach the IQ)
+		u.actTaken = emu.EvalBranch(op, v1, v2)
+		u.srcLevel = taint
+		c.Meter.Add(energy.ALUOp, 1)
+
+	case u.isJR:
+		u.actTaken, u.actTarget = true, v1
+		u.srcLevel = taint
+		c.Meter.Add(energy.ALUOp, 1)
+
+	default: // ALU, MUL, DIV, CMOV
+		var old uint64
+		if u.psrc3 >= 0 {
+			var l3 cache.ServiceLevel
+			old, l3 = c.readSrc(u.psrc3)
+			taint = cache.Max(taint, l3)
+		}
+		res := emu.ALUOp(op, v1, v2, uint64(u.inst.Imm), old)
+		if u.pdst >= 0 {
+			c.prf[u.pdst] = res
+			c.prfLevel[u.pdst] = taint
+			c.Meter.Add(energy.PRFWrite, 1)
+		}
+		switch op.Class() {
+		case isa.ClassMul:
+			lat = uint64(c.cfg.MulLatency)
+			c.Meter.Add(energy.MulDivOp, 1)
+		case isa.ClassDiv:
+			lat = uint64(c.cfg.DivLatency)
+			c.Meter.Add(energy.MulDivOp, 1)
+		default:
+			c.Meter.Add(energy.ALUOp, 1)
+		}
+	}
+
+	u.issueAt = c.now
+	c.schedule(c.now+lat, pos, u.seq)
+	return true
+}
+
+func sizeMask(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*size) - 1
+}
+
+func (c *Core) chargeMemEnergy(lvl cache.ServiceLevel) {
+	c.Meter.Add(energy.L1Access, 1)
+	switch lvl {
+	case cache.L2:
+		c.Meter.Add(energy.L2Access, 1)
+	case cache.L3:
+		c.Meter.Add(energy.L2Access, 1)
+		c.Meter.Add(energy.L3Access, 1)
+	case cache.MEM:
+		c.Meter.Add(energy.L2Access, 1)
+		c.Meter.Add(energy.L3Access, 1)
+		c.Meter.Add(energy.MemAccess, 1)
+	}
+}
+
+// sqLookup searches the store queue for stores older than seq overlapping
+// [addr, addr+size). An exact-width match from the youngest such store
+// forwards its data; a partial overlap forces the load to wait until the
+// store drains.
+func (c *Core) sqLookup(seq, addr uint64, size int) (val uint64, fwd, wait bool) {
+	for pos := c.sqHead; pos < c.sqTail; pos++ {
+		e := &c.sq[pos%uint64(len(c.sq))]
+		if e.seq >= seq {
+			break
+		}
+		if !e.addrOK {
+			return 0, false, true // guarded by ready(); defensive
+		}
+		if e.addr+uint64(e.size) <= addr || addr+uint64(size) <= e.addr {
+			continue
+		}
+		if e.addr == addr && e.size == size && e.dataOK {
+			val, fwd, wait = e.data, true, false
+		} else {
+			val, fwd, wait = 0, false, true
+		}
+	}
+	return val, fwd, wait
+}
+
+// complete drains this cycle's completion events: results become visible to
+// dependents, branches resolve (initiating recovery on mispredictions), and
+// pushes write their queue entries — including the late-push check against
+// speculative pops (§III-C2).
+func (c *Core) complete() {
+	slot := c.now % eventRing
+	evs := c.events[slot]
+	if len(evs) == 0 {
+		return
+	}
+	c.events[slot] = evs[:0]
+	for _, ev := range evs {
+		if ev.at > c.now {
+			// Parked long-latency event: reschedule (now within ring
+			// range or parks again).
+			c.schedule(ev.at, ev.robPos, ev.seq)
+			continue
+		}
+		u := c.robAt(ev.robPos)
+		if u.seq != ev.seq || u.squashed {
+			continue
+		}
+		u.executed = true
+		u.doneAt = c.now
+		if u.pdst >= 0 {
+			c.prfReady[u.pdst] = true
+		}
+		switch {
+		case u.inst.Op == isa.PushBQ:
+			c.completePushBQ(u)
+		case u.inst.Op == isa.PushTQ:
+			e := &c.tq.entries[uint64(u.tqIdx)%uint64(c.tq.size)]
+			e.overflow = u.storeData > maxTripCount
+			e.count = uint32(u.storeData & maxTripCount)
+			e.pushed = true
+		case u.isCond && !u.resolvedFetch:
+			c.resolveBranch(u, ev.robPos)
+		case u.isJR:
+			c.resolveBranch(u, ev.robPos)
+		}
+	}
+}
+
+const maxTripCount = 1<<16 - 1
+
+// resolveBranch checks a predicted branch at execute. Mispredictions
+// recover immediately through the branch's checkpoint, or wait for
+// retirement when it has none (the timing cost of running out of
+// checkpoints).
+func (c *Core) resolveBranch(u *uop, pos uint64) {
+	correct := u.actTaken == u.predTaken
+	if u.isJR {
+		correct = u.actTarget == u.predTarget
+	}
+	if u.actTaken {
+		c.btb.Insert(u.pc, u.actTarget)
+	}
+	if correct {
+		if c.cfg.CkptOoOReclaim && u.hasCkpt {
+			c.usedCkpts--
+			u.hasCkpt = false
+		}
+		return
+	}
+	u.mispredict = true
+	newPC := u.actTarget
+	if u.isCond && !u.actTaken {
+		newPC = u.pc + 1
+	}
+	if u.hasCkpt {
+		c.Stats.Recoveries++
+		c.pred.Restore(u.hist)
+		if u.isCond {
+			c.pred.OnFetchOutcome(u.pc, u.actTaken)
+		}
+		c.recoverAfter(u.seq, newPC)
+		c.Meter.Add(energy.CkptRestore, 1)
+		if c.cfg.CkptOoOReclaim {
+			c.usedCkpts--
+			u.hasCkpt = false
+		}
+	} else {
+		u.retireRecover = true
+	}
+}
+
+// completePushBQ implements the push side of BQ operation (Fig 10): write
+// the predicate and pushed bit; if a speculative pop already claimed this
+// entry, confirm its prediction or initiate recovery from the pop's
+// checkpoint (late push).
+func (c *Core) completePushBQ(u *uop) {
+	c.Meter.Add(energy.BQAccess, 1)
+	e := &c.bq.entries[uint64(u.bqIdx)%uint64(c.bq.size)]
+	pred := u.actTaken
+	e.srcLevel = u.srcLevel
+	if e.popped {
+		if e.predPred != pred {
+			c.lateRecover(e, pred)
+		} else {
+			c.confirmSpecPop(e, pred)
+		}
+	}
+	e.pred = pred
+	e.pushed = true
+}
+
+// confirmSpecPop marks the speculating pop resolved and releases its
+// checkpoint.
+func (c *Core) confirmSpecPop(e *bqEntryHW, pred bool) {
+	pop := c.findPop(e)
+	if pop == nil {
+		return
+	}
+	pop.actTaken = pred
+	pop.resolvedFetch = true
+	if pop.hasCkpt && c.cfg.CkptOoOReclaim {
+		c.usedCkpts--
+		pop.hasCkpt = false
+	}
+}
+
+// findPop locates the speculating pop for a BQ entry, in the ROB or still
+// in the front-end queue.
+func (c *Core) findPop(e *bqEntryHW) *uop {
+	if e.popRob != ^uint64(0) && e.popRob >= c.robHead && e.popRob < c.robTail {
+		u := c.robAt(e.popRob)
+		if u.seq == e.popSeq {
+			return u
+		}
+	}
+	for i := c.fqHead; i < len(c.frontQ); i++ {
+		if c.frontQ[i].seq == e.popSeq {
+			return &c.frontQ[i]
+		}
+	}
+	return nil
+}
+
+// lateRecover handles a late push whose predicate disagrees with the
+// speculative pop's prediction: recover to the pop using the checkpoint it
+// claimed, exactly like a branch misprediction anchored at the pop.
+func (c *Core) lateRecover(e *bqEntryHW, pred bool) {
+	pop := c.findPop(e)
+	if pop == nil {
+		return // pop squashed between the claim and now; popped bit was stale
+	}
+	pop.actTaken = pred
+	pop.predTaken = pred // the front end proceeds down the corrected path
+	pop.mispredict = true
+	pop.resolvedFetch = true
+	newPC := pop.pc + 1
+	if pred {
+		newPC = pop.actTarget
+	}
+	c.Stats.Recoveries++
+	c.pred.Restore(pop.hist)
+	c.pred.OnFetchOutcome(pop.pc, pred)
+	c.recoverAfter(pop.seq, newPC)
+	c.Meter.Add(energy.CkptRestore, 1)
+	if pop.hasCkpt {
+		c.usedCkpts--
+		pop.hasCkpt = false
+	}
+	pop.srcLevel = e.srcLevel
+}

@@ -1,0 +1,58 @@
+package pipeline
+
+// Oracle holds recorded true outcomes for selected static branches, in
+// dynamic execution order. It models perfect branch prediction: the harness
+// records outcomes from a functional pre-run of the same region, and the
+// fetch unit consults them in fetch order. Wrong-path fetches consume
+// cursor positions that recovery hands back (undo), keeping the stream
+// aligned with the correct path.
+type Oracle struct {
+	outcomes map[uint64][]bool
+	cursor   map[uint64]int
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{
+		outcomes: make(map[uint64][]bool),
+		cursor:   make(map[uint64]int),
+	}
+}
+
+// Record appends one dynamic outcome of the static branch at pc.
+func (o *Oracle) Record(pc uint64, taken bool) {
+	o.outcomes[pc] = append(o.outcomes[pc], taken)
+}
+
+// Covers reports whether pc has recorded outcomes.
+func (o *Oracle) Covers(pc uint64) bool {
+	_, ok := o.outcomes[pc]
+	return ok
+}
+
+// Next consumes and returns the next outcome for pc. ok is false when the
+// trace is exhausted (deep wrong path past the recorded region); callers
+// fall back to the predictor.
+func (o *Oracle) Next(pc uint64) (taken, ok bool) {
+	tr := o.outcomes[pc]
+	cur := o.cursor[pc]
+	if cur >= len(tr) {
+		return false, false
+	}
+	o.cursor[pc] = cur + 1
+	return tr[cur], true
+}
+
+// Undo hands back one consumed outcome for pc (squash recovery).
+func (o *Oracle) Undo(pc uint64) {
+	if cur := o.cursor[pc]; cur > 0 {
+		o.cursor[pc] = cur - 1
+	}
+}
+
+// Reset rewinds all cursors (for reusing one oracle across runs).
+func (o *Oracle) Reset() {
+	for pc := range o.cursor {
+		o.cursor[pc] = 0
+	}
+}

@@ -1,0 +1,479 @@
+// Package pipeline is the execute-at-execute, cycle-level model of the
+// paper's out-of-order core (§III-C, §IV, §VI): a conventional superscalar
+// pipeline — fetch (branch predictor, BTB, RAS), decode/rename (RMT, ring
+// freelist), dispatch, issue queue, execution lanes, load/store queues,
+// ROB, in-order retire — extended with the CFD hardware:
+//
+//   - the BQ and TQ live in the fetch unit and resolve BranchBQ /
+//     BranchTCR / PopTQ at fetch, timely and non-speculatively;
+//   - speculative pops on BQ misses take checkpoints and are confirmed or
+//     disconfirmed by late pushes (§III-C2);
+//   - the VQ renamer in the rename stage maps the architectural value
+//     queue onto the physical register file (§IV-B2);
+//   - misprediction recovery restores rename state, queue pointers, the
+//     TCR, and predictor history, with checkpointed branches recovering at
+//     resolve and uncheckpointed ones at retire.
+//
+// Wrong paths are genuinely fetched, renamed, executed, and squashed;
+// values flow through a physical register file written at issue time.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"cfd/internal/cache"
+	"cfd/internal/config"
+	"cfd/internal/energy"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/predictor"
+	"cfd/internal/prog"
+)
+
+// ErrLimit is returned by Run when the retired-instruction budget is
+// exhausted before HALT retires.
+var ErrLimit = errors.New("pipeline: instruction limit reached")
+
+// ErrDeadlock is returned when no instruction retires for a long time —
+// always a model or program bug.
+var ErrDeadlock = errors.New("pipeline: no retirement progress (deadlock)")
+
+const noReg = int32(-1)
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq     uint64
+	pc      uint64
+	inst    isa.Inst
+	readyAt uint64 // cycle at which it may rename (front-end depth)
+
+	// Control state.
+	isCond        bool
+	isJR          bool
+	predTaken     bool
+	predTarget    uint64
+	actTaken      bool
+	actTarget     uint64
+	resolvedFetch bool // direction known non-speculatively at fetch
+	usedPredictor bool
+	usedOracle    bool
+	specPop       bool // BranchBQ that missed and speculated
+	lookup        predictor.Lookup
+	hist          predictor.HistSnap
+	hasCkpt       bool
+	mispredict    bool
+	retireRecover bool // recover at retire (no checkpoint)
+	recovered     bool
+
+	// Rename state (physical registers; -1 = none).
+	pdst, psrc1, psrc2, psrc3 int32
+	pold                      int32
+	vqSrcPreg                 int32
+
+	// Undo records for walk-based recovery.
+	rasOldTop int
+	oldTCR    uint64
+	oldMark   uint64
+	oldMarkOK bool
+	bqIdx     int64 // PushBQ: allocated tail; BranchBQ: popped head
+	tqIdx     int64
+	vqIdx     int64
+	fwdFrom   uint64
+	fwdTo     uint64
+
+	// Memory state.
+	isLoad, isStore bool
+	addr            uint64
+	storeData       uint64
+	storeSize       int
+	memLevel        cache.ServiceLevel
+	srcLevel        cache.ServiceLevel
+	sqPos           uint64
+	lqPos           uint64
+
+	inIQ     bool
+	executed bool
+	issued   bool
+	squashed bool
+	isHalt   bool
+
+	// Stage timestamps (pipeline tracing).
+	fetchAt  uint64
+	renameAt uint64
+	issueAt  uint64
+	doneAt   uint64
+}
+
+// bqEntryHW is a physical BQ entry (paper Fig 9): the software-visible
+// predicate plus the pushed bit, popped bit, and the speculating pop's
+// identity (its checkpoint handle).
+type bqEntryHW struct {
+	pred     bool
+	pushed   bool
+	popped   bool
+	predPred bool
+	popSeq   uint64 // seq of the speculating pop (for late-push recovery)
+	popRob   uint64
+	srcLevel cache.ServiceLevel // taint of the push's sources (attribution)
+}
+
+// bqHW is the fetch unit's branch queue. Pointers are monotonic; the entry
+// index is ptr % size. The architectural length used for the fetch stall
+// rule (§III-C3) is specTail - commHead: fetched-but-unretired pushes
+// (pending_push_ctr) plus retired-but-unpopped entries (net_push_ctr).
+type bqHW struct {
+	size     int
+	entries  []bqEntryHW
+	specHead uint64
+	specTail uint64
+	specMark uint64
+	markOK   bool
+	commHead uint64
+}
+
+func (q *bqHW) length() int { return int(q.specTail - q.commHead) }
+
+// tqEntryHW is a physical TQ entry: trip count, overflow, pushed bit.
+type tqEntryHW struct {
+	count    uint32
+	overflow bool
+	pushed   bool
+}
+
+type tqHW struct {
+	size     int
+	entries  []tqEntryHW
+	specHead uint64
+	specTail uint64
+	commHead uint64
+}
+
+func (q *tqHW) length() int { return int(q.specTail - q.commHead) }
+
+// vqRen is the VQ renamer (paper Fig 12): a circular buffer of physical
+// register mappings in the rename stage.
+type vqRen struct {
+	size     int
+	mapping  []int32
+	specHead uint64
+	specTail uint64
+	commHead uint64
+}
+
+func (q *vqRen) length() int { return int(q.specTail - q.commHead) }
+
+// sqEntry is a store queue entry. Address generation is decoupled from
+// data: the address resolves as soon as the base register is ready, letting
+// younger non-conflicting loads issue around the store.
+type sqEntry struct {
+	seq    uint64
+	robPos uint64
+	addr   uint64
+	size   int
+	data   uint64
+	addrOK bool
+	dataOK bool
+}
+
+// Stats accumulates the simulation counters the experiments consume.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	Fetched uint64
+
+	// Conditional branch accounting (retired only).
+	CondBranches   uint64
+	Mispredicts    uint64
+	MispredByLevel [5]uint64 // indexed by cache.ServiceLevel
+	BTBMisfetches  uint64
+
+	// CFD accounting.
+	BQPops            uint64 // retired BranchBQ
+	BQResolvedAtFetch uint64
+	BQMisses          uint64 // speculative pops (retired)
+	BQLateMispredict  uint64
+	BQFullStalls      uint64 // cycles fetch stalled on a full BQ
+	BQMissStalls      uint64 // cycles fetch stalled on a BQ miss (stall policy)
+	TQPops            uint64
+	TQMissStalls      uint64
+	TCRBranches       uint64
+
+	// Squash accounting.
+	SquashedUops     uint64
+	Recoveries       uint64
+	RetireRecoveries uint64
+
+	// Per-static-branch stats (retired conditional branches).
+	PerBranch map[uint64]*BranchStat
+}
+
+// BranchStat is per-static-branch retirement statistics.
+type BranchStat struct {
+	Execs       uint64
+	Mispredicts uint64
+	Taken       uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MPKI returns mispredictions per 1000 retired instructions.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Retired)
+}
+
+// Core is one simulated processor core bound to a program and memory.
+type Core struct {
+	cfg  config.Core
+	prog *prog.Program
+	mem  *mem.Memory
+	hier *cache.Hierarchy
+
+	// Front end.
+	fetchPC        uint64
+	fetchStallTill uint64
+	haltFetched    bool
+	seq            uint64
+	frontQ         []uop
+	fqHead         int
+	pred           predictor.DirPredictor
+	btb            *predictor.BTB
+	ras            *predictor.RAS
+	conf           *predictor.Confidence
+	oracle         *Oracle
+	perfectBP      bool
+	feDelay        uint64
+
+	bq      bqHW
+	tq      tqHW
+	vq      vqRen
+	specTCR uint64
+
+	// Rename state.
+	rmt      [isa.NumRegs]int32
+	amt      [isa.NumRegs]int32
+	freeRing []int32
+	flHead   uint64 // alloc position (monotonic)
+	flTail   uint64 // free position (monotonic)
+
+	// Physical register file.
+	prf      []uint64
+	prfReady []bool
+	prfLevel []cache.ServiceLevel
+
+	// Window.
+	rob     []uop
+	robHead uint64
+	robTail uint64
+	iq      []uint64 // rob positions, age order
+	sq      []sqEntry
+	sqHead  uint64
+	sqTail  uint64
+	lqCount int
+
+	usedCkpts int
+
+	// Completion events: a bucket ring indexed by cycle. Events farther
+	// out than the ring (rare: deeply queued misses) park in the last
+	// slot and reschedule.
+	events [][]completion
+
+	now             uint64
+	done            bool
+	lastRetireCycle uint64
+	trace           *tracer
+
+	Stats Stats
+	Meter *energy.Meter
+}
+
+type completion struct {
+	robPos uint64
+	seq    uint64
+	at     uint64
+}
+
+// eventRing is the completion ring size; it must exceed the longest normal
+// operation latency including MSHR queueing.
+const eventRing = 1 << 14
+
+func (c *Core) schedule(at, robPos, seq uint64) {
+	slot := at
+	if at-c.now >= eventRing {
+		slot = c.now + eventRing - 1
+	}
+	c.events[slot%eventRing] = append(c.events[slot%eventRing], completion{robPos: robPos, seq: seq, at: at})
+}
+
+// fqLen returns the front-end queue occupancy.
+func (c *Core) fqLen() int { return len(c.frontQ) - c.fqHead }
+
+func (c *Core) fqFront() *uop { return &c.frontQ[c.fqHead] }
+
+func (c *Core) fqPop() {
+	c.fqHead++
+	if c.fqHead == len(c.frontQ) {
+		c.frontQ = c.frontQ[:0]
+		c.fqHead = 0
+	} else if c.fqHead > 4096 {
+		n := copy(c.frontQ, c.frontQ[c.fqHead:])
+		c.frontQ = c.frontQ[:n]
+		c.fqHead = 0
+	}
+}
+
+// Option configures a Core.
+type Option func(*Core)
+
+// WithOracle supplies recorded true branch outcomes. Branch PCs covered by
+// the oracle resolve at fetch with the true outcome ("perfect prediction"
+// for those branches, e.g. Base+PerfectCFD in Fig 19).
+func WithOracle(o *Oracle) Option { return func(c *Core) { c.oracle = o } }
+
+// WithPerfectBP makes every conditional branch consult the oracle
+// (full perfect prediction); requires WithOracle.
+func WithPerfectBP() Option { return func(c *Core) { c.perfectBP = true } }
+
+// New builds a core. The memory m holds the workload's initial data; the
+// core commits stores back to it, so pass a clone if the caller needs the
+// original. m may be nil.
+func New(cfg config.Core, p *prog.Program, m *mem.Memory, opts ...Option) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = mem.New()
+	}
+	c := &Core{
+		cfg:     cfg,
+		prog:    p,
+		mem:     m,
+		hier:    cache.New(cfg.Cache),
+		btb:     predictor.NewBTB(cfg.BTBLogSets, cfg.BTBWays),
+		ras:     predictor.NewRAS(cfg.RASDepth),
+		conf:    predictor.NewConfidence(12, cfg.ConfidenceThresh),
+		feDelay: uint64(cfg.FrontEndDepth - 1),
+		bq:      bqHW{size: cfg.BQSize, entries: make([]bqEntryHW, cfg.BQSize)},
+		tq:      tqHW{size: cfg.TQSize, entries: make([]tqEntryHW, cfg.TQSize)},
+		vq:      vqRen{size: cfg.VQSize, mapping: make([]int32, cfg.VQSize)},
+		rob:     make([]uop, cfg.ROBSize),
+		sq:      make([]sqEntry, cfg.SQSize),
+		events:  make([][]completion, eventRing),
+		Meter:   energy.NewMeter(energy.DefaultModel(cfg.ROBSize)),
+	}
+	switch cfg.Predictor {
+	case config.PredGshare:
+		c.pred = predictor.NewGshare(14, 16)
+	case config.PredBimodal:
+		c.pred = predictor.NewBimodal(14)
+	default:
+		c.pred = predictor.NewISLTAGE()
+	}
+	// Physical register file: logical registers map to pregs 0..31, the
+	// rest are free. preg 0 backs r0 and stays 0.
+	n := cfg.NumPhysRegs
+	c.prf = make([]uint64, n)
+	c.prfReady = make([]bool, n)
+	c.prfLevel = make([]cache.ServiceLevel, n)
+	c.freeRing = make([]int32, n)
+	for i := 0; i < isa.NumRegs; i++ {
+		c.rmt[i] = int32(i)
+		c.amt[i] = int32(i)
+		c.prfReady[i] = true
+	}
+	free := 0
+	for pr := isa.NumRegs; pr < n; pr++ {
+		c.freeRing[free] = int32(pr)
+		free++
+	}
+	c.flTail = uint64(free)
+	c.Stats.PerBranch = make(map[uint64]*BranchStat)
+	for _, o := range opts {
+		o(c)
+	}
+	if c.perfectBP && c.oracle == nil {
+		return nil, errors.New("pipeline: WithPerfectBP requires WithOracle")
+	}
+	return c, nil
+}
+
+// Cycle runs one clock cycle.
+func (c *Core) Cycle() error {
+	c.hier.Tick(c.now)
+	if err := c.retire(); err != nil {
+		return err
+	}
+	c.complete()
+	c.issue()
+	if err := c.rename(); err != nil {
+		return err
+	}
+	if err := c.fetch(); err != nil {
+		return err
+	}
+	c.now++
+	c.Stats.Cycles++
+	c.Meter.AddCycles(1)
+	return nil
+}
+
+// Run executes until HALT retires or maxRetired instructions have retired
+// (0 = no limit). It returns ErrLimit if the budget ran out first.
+func (c *Core) Run(maxRetired uint64) error {
+	c.lastRetireCycle = c.now
+	for !c.done {
+		if maxRetired != 0 && c.Stats.Retired >= maxRetired {
+			return ErrLimit
+		}
+		if err := c.Cycle(); err != nil {
+			return err
+		}
+		if c.now-c.lastRetireCycle > 200000 {
+			return fmt.Errorf("%w at cycle %d (pc %d)", ErrDeadlock, c.now, c.fetchPC)
+		}
+	}
+	return nil
+}
+
+// Mem returns the committed memory.
+func (c *Core) Mem() *mem.Memory { return c.mem }
+
+// Hierarchy exposes the cache hierarchy for stats.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Done reports whether HALT has retired.
+func (c *Core) Done() bool { return c.done }
+
+// freelist helpers.
+func (c *Core) freeCount() int { return int(c.flTail - c.flHead) }
+
+func (c *Core) allocPreg() int32 {
+	pr := c.freeRing[c.flHead%uint64(len(c.freeRing))]
+	c.flHead++
+	c.prfReady[pr] = false
+	c.prfLevel[pr] = cache.NoData
+	return pr
+}
+
+func (c *Core) freePreg(pr int32) {
+	if pr < isa.NumRegs {
+		// Initial logical mappings are freed once renamed over; they
+		// re-enter the pool like any other register.
+	}
+	c.freeRing[c.flTail%uint64(len(c.freeRing))] = pr
+	c.flTail++
+}
+
+// robAt returns the uop at a monotonic rob position.
+func (c *Core) robAt(pos uint64) *uop { return &c.rob[pos%uint64(len(c.rob))] }
+
+func (c *Core) robCount() int { return int(c.robTail - c.robHead) }

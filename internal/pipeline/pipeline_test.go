@@ -1,0 +1,722 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/emu"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// testConfig shrinks the caches so tests exercise misses quickly.
+func testConfig() config.Core {
+	c := config.SandyBridge()
+	c.Cache.L1.SizeKB = 4
+	c.Cache.L2.SizeKB = 16
+	c.Cache.L3.SizeKB = 64
+	return c
+}
+
+// runBoth executes p on the emulator and the pipeline from identical
+// initial memory and requires identical final memory. It returns the
+// pipeline core for stats inspection.
+func runBoth(t *testing.T, cfg config.Core, p *prog.Program, init *mem.Memory, opts ...Option) *Core {
+	t.Helper()
+	if init == nil {
+		init = mem.New()
+	}
+	em := emu.New(p, init.Clone())
+	if err := em.Run(20_000_000); err != nil {
+		t.Fatalf("emulator: %v", err)
+	}
+	core, err := New(cfg, p, init.Clone(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if !em.Mem.Equal(core.Mem()) {
+		t.Fatal("pipeline final memory diverges from emulator")
+	}
+	if core.Stats.Retired != em.Retired {
+		t.Errorf("retired %d instructions, emulator retired %d", core.Stats.Retired, em.Retired)
+	}
+	return core
+}
+
+// storeRegs appends code storing r1..r15 to out.
+func storeRegs(b *prog.Builder, out uint64) {
+	b.Li(30, int64(out))
+	for r := isa.Reg(1); r <= 15; r++ {
+		b.Store(isa.SD, r, 30, int64(8*(r-1)))
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 5)
+	b.Li(2, 7)
+	b.R(isa.ADD, 3, 1, 2)
+	b.R(isa.MUL, 4, 3, 3)
+	b.I(isa.SLTI, 5, 4, 200)
+	b.R(isa.DIV, 6, 4, 2)
+	b.R(isa.XOR, 7, 6, 1)
+	storeRegs(b, 0x9000)
+	b.Halt()
+	runBoth(t, testConfig(), b.MustBuild(), nil)
+}
+
+func TestIndependentALUThroughput(t *testing.T) {
+	b := prog.NewBuilder()
+	for i := 0; i < 2000; i++ {
+		b.I(isa.ADDI, isa.Reg(1+i%8), 0, int64(i))
+	}
+	b.Halt()
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if ipc := core.Stats.IPC(); ipc < 2.0 {
+		t.Errorf("independent ALU IPC = %.2f, want > 2 on a 4-wide core", ipc)
+	}
+}
+
+func TestDependentChainLatency(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 0)
+	for i := 0; i < 2000; i++ {
+		b.I(isa.ADDI, 1, 1, 1)
+	}
+	b.Halt()
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if ipc := core.Stats.IPC(); ipc > 1.2 {
+		t.Errorf("dependent-chain IPC = %.2f, want <= ~1", ipc)
+	}
+}
+
+// condLoop builds: for i in 0..n { if (a[i] > k) b[i] = a[i]+7 } with the
+// branch data-dependent on a[].
+func condLoop(aBase, bBase uint64, n, k int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(aBase))
+	b.Li(2, int64(bBase))
+	b.Li(3, n)
+	b.Li(4, k)
+	b.Label("loop")
+	b.Load(isa.LD, 5, 1, 0)
+	b.R(isa.SLT, 6, 4, 5)
+	b.Branch(isa.BEQ, 6, 0, "skip")
+	b.I(isa.ADDI, 7, 5, 7)
+	b.Store(isa.SD, 7, 2, 0)
+	b.Label("skip")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func randomArray(n int, mod int64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(mod))
+	}
+	return vals
+}
+
+func TestMispredictionRecovery(t *testing.T) {
+	const n = 2000
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 42))
+	core := runBoth(t, testConfig(), condLoop(0x10000, 0x80000, n, 50), m)
+	if core.Stats.Mispredicts == 0 {
+		t.Error("random data-dependent branch produced no mispredictions")
+	}
+	if core.Stats.Recoveries == 0 {
+		t.Error("no checkpoint recoveries despite mispredictions")
+	}
+}
+
+func TestRetireTimeRecoveryWithZeroCheckpoints(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumCheckpoints = 0
+	const n = 800
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 7))
+	core := runBoth(t, cfg, condLoop(0x10000, 0x80000, n, 50), m)
+	if core.Stats.RetireRecoveries == 0 {
+		t.Error("zero-checkpoint core must recover at retire")
+	}
+	if core.Stats.Recoveries != 0 {
+		t.Error("zero-checkpoint core cannot do resolve-time recovery of predicted branches")
+	}
+}
+
+// cfdLoop is the canonical Fig 3b transformation of condLoop.
+func cfdLoop(aBase, bBase uint64, n, k int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(aBase))
+	b.Li(3, n)
+	b.Li(4, k)
+	b.Label("gen")
+	b.Load(isa.LD, 5, 1, 0)
+	b.R(isa.SLT, 6, 4, 5)
+	b.PushBQ(6)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "gen")
+	b.Li(1, int64(aBase))
+	b.Li(2, int64(bBase))
+	b.Li(3, n)
+	b.Label("use")
+	b.BranchBQ("work")
+	b.Jump("skip")
+	b.Label("work")
+	b.Load(isa.LD, 5, 1, 0)
+	b.I(isa.ADDI, 7, 5, 7)
+	b.Store(isa.SD, 7, 2, 0)
+	b.Label("skip")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "use")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCFDMatchesEmulatorAndEliminatesMispredicts(t *testing.T) {
+	const n = 100 // within BQ size: no strip mining needed
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 11))
+
+	base, err := New(testConfig(), condLoop(0x10000, 0x80000, n, 50), m.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	cfd := runBoth(t, testConfig(), cfdLoop(0x10000, 0x80000, n, 50), m)
+	if !base.Mem().Equal(cfd.Mem()) {
+		t.Fatal("CFD-transformed program computes different memory than baseline")
+	}
+	if cfd.Stats.BQPops == 0 {
+		t.Fatal("no BQ pops retired")
+	}
+	if cfd.Stats.BQResolvedAtFetch == 0 {
+		t.Error("no pops resolved non-speculatively at fetch")
+	}
+	// The hard branch is gone: CFD's mispredictions should be (near)
+	// zero while the baseline suffers many.
+	if base.Stats.Mispredicts < 10 {
+		t.Errorf("baseline mispredicts = %d, expected many", base.Stats.Mispredicts)
+	}
+	if cfd.Stats.BQLateMispredict > cfd.Stats.BQPops/10 {
+		t.Errorf("late-push mispredicts = %d of %d pops, want rare", cfd.Stats.BQLateMispredict, cfd.Stats.BQPops)
+	}
+}
+
+// latePushProg interleaves a push immediately before its pop — deliberately
+// insufficient fetch separation, forcing BQ misses.
+func latePushProg(aBase uint64, n int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(aBase))
+	b.Li(3, n)
+	b.Li(9, 0) // accumulator
+	b.Label("loop")
+	b.Load(isa.LD, 5, 1, 0)
+	b.I(isa.ANDI, 6, 5, 1)
+	b.PushBQ(6)
+	b.BranchBQ("odd")
+	b.Jump("next")
+	b.Label("odd")
+	b.I(isa.ADDI, 9, 9, 1)
+	b.Label("next")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 3, 3, -1)
+	b.Branch(isa.BNE, 3, 0, "loop")
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 9, 30, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestLatePushSpeculation(t *testing.T) {
+	const n = 1500
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 1000, 13))
+	core := runBoth(t, testConfig(), latePushProg(0x10000, n), m)
+	if core.Stats.BQMisses == 0 {
+		t.Error("adjacent push/pop must cause BQ misses")
+	}
+	if core.Stats.BQLateMispredict == 0 {
+		t.Error("random predicates with speculative pops must cause late-push mispredictions")
+	}
+}
+
+func TestLatePushStallPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.BQMissPolicy = config.StallFetch
+	const n = 1000
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 1000, 13))
+	core := runBoth(t, cfg, latePushProg(0x10000, n), m)
+	if core.Stats.BQMissStalls == 0 {
+		t.Error("stall policy must stall on BQ misses")
+	}
+	if core.Stats.BQMisses != 0 {
+		t.Error("stall policy must never speculate a pop")
+	}
+	if core.Stats.BQLateMispredict != 0 {
+		t.Error("stall policy cannot have late-push mispredictions")
+	}
+}
+
+func tqProg(base uint64, n int64) *prog.Program {
+	b := prog.NewBuilder()
+	b.Li(1, int64(base))
+	b.Li(2, n)
+	b.Label("gen")
+	b.Load(isa.LD, 3, 1, 0)
+	b.PushTQ(3)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "gen")
+	b.Li(2, n)
+	b.Li(4, 0)
+	b.Label("outer")
+	b.PopTQ()
+	b.Jump("test")
+	b.Label("body")
+	b.I(isa.ADDI, 4, 4, 1)
+	b.Label("test")
+	b.BranchTCR("body")
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "outer")
+	b.Li(6, 0x9000)
+	b.Store(isa.SD, 4, 6, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestTQLoop(t *testing.T) {
+	const n = 200
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 10, 5))
+	core := runBoth(t, testConfig(), tqProg(0x10000, n), m)
+	if core.Stats.TQPops != n {
+		t.Errorf("TQPops = %d, want %d", core.Stats.TQPops, n)
+	}
+	if core.Stats.TCRBranches == 0 {
+		t.Error("no BranchTCR retirements")
+	}
+}
+
+func TestMarkForward(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 10)
+	b.Li(2, 1)
+	b.Label("gen")
+	b.PushBQ(2)
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "gen")
+	b.MarkBQ()
+	b.Li(1, 4) // consume only 4 of 10
+	b.Label("use")
+	b.BranchBQ("body")
+	b.Label("body")
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "use")
+	b.ForwardBQ()
+	// A second decoupled region must find a clean BQ.
+	b.Li(1, 3)
+	b.Li(2, 0)
+	b.Label("gen2")
+	b.PushBQ(2)
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "gen2")
+	b.Li(1, 3)
+	b.Li(9, 0)
+	b.Label("use2")
+	b.BranchBQ("taken2")
+	b.I(isa.ADDI, 9, 9, 1) // predicates are 0: executed each time
+	b.Label("taken2")
+	b.I(isa.ADDI, 1, 1, -1)
+	b.Branch(isa.BNE, 1, 0, "use2")
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 9, 30, 0)
+	b.Halt()
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if got := core.Mem().Read(0x9000, 8); got != 3 {
+		t.Errorf("second region result = %d, want 3", got)
+	}
+}
+
+func TestVQCommunicatesValues(t *testing.T) {
+	// Loop 1 pushes a[i]*3 onto the VQ; loop 2 pops and stores. n stays
+	// within the architectural VQ size (128): no strip mining.
+	const n = 120
+	b := prog.NewBuilder()
+	b.Li(1, 0x10000)
+	b.Li(2, n)
+	b.Li(7, 3)
+	b.Label("gen")
+	b.Load(isa.LD, 3, 1, 0)
+	b.R(isa.MUL, 4, 3, 7)
+	b.PushVQ(4)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "gen")
+	b.Li(1, 0x80000)
+	b.Li(2, n)
+	b.Label("use")
+	b.PopVQ(5)
+	b.Store(isa.SD, 5, 1, 0)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "use")
+	b.Halt()
+	m := mem.New()
+	vals := randomArray(n, 1000, 3)
+	m.WriteUint64s(0x10000, vals)
+	core := runBoth(t, testConfig(), b.MustBuild(), m)
+	for i, v := range vals[:5] {
+		if got := core.Mem().Read(0x80000+uint64(8*i), 8); got != v*3 {
+			t.Fatalf("vq value %d = %d, want %d", i, got, v*3)
+		}
+	}
+}
+
+func TestVQInterleavedWithBranchRecovery(t *testing.T) {
+	// VQ traffic with hard-to-predict branches in between: recovery must
+	// restore VQ renamer pointers exactly. n kept within VQ size.
+	const n = 100
+	b := prog.NewBuilder()
+	b.Li(1, 0x10000)
+	b.Li(2, n)
+	b.Label("gen")
+	b.Load(isa.LD, 3, 1, 0)
+	b.PushVQ(3)
+	b.I(isa.ANDI, 4, 3, 1)
+	b.Branch(isa.BEQ, 4, 0, "even") // hard branch between pushes
+	b.Nop()
+	b.Label("even")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "gen")
+	b.Li(1, 0x80000)
+	b.Li(2, n)
+	b.Label("use")
+	b.PopVQ(5)
+	b.Store(isa.SD, 5, 1, 0)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 2, 2, -1)
+	b.Branch(isa.BNE, 2, 0, "use")
+	b.Halt()
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 1000, 99))
+	runBoth(t, testConfig(), b.MustBuild(), m)
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 0x5000)
+	b.Li(2, 1234)
+	b.Store(isa.SD, 2, 1, 0)
+	b.Load(isa.LD, 3, 1, 0) // must forward from the store queue
+	b.I(isa.ADDI, 3, 3, 1)
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 3, 30, 0)
+	b.Halt()
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if got := core.Mem().Read(0x9000, 8); got != 1235 {
+		t.Errorf("forwarded value+1 = %d, want 1235", got)
+	}
+}
+
+func TestPartialOverlapStoreLoad(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(1, 0x5000)
+	b.Li(2, 0x1122334455667788)
+	b.Store(isa.SD, 2, 1, 0)
+	b.Load(isa.LW, 3, 1, 4) // partial overlap: upper half
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 3, 30, 0)
+	b.Halt()
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if got := core.Mem().Read(0x9000, 8); got != 0x11223344 {
+		t.Errorf("partial-overlap load = %#x, want 0x11223344", got)
+	}
+}
+
+func TestPerfectBPEliminatesMispredictions(t *testing.T) {
+	const n = 1000
+	init := mem.New()
+	init.WriteUint64s(0x10000, randomArray(n, 100, 21))
+	p := condLoop(0x10000, 0x80000, n, 50)
+
+	// Record the oracle from a functional pre-run.
+	oracle := NewOracle()
+	em := emu.New(p, init.Clone(), emu.WithTracer(emu.TracerFunc(func(ev emu.Event) {
+		if ev.Inst.Op.IsCondBranch() {
+			oracle.Record(ev.PC, ev.Taken)
+		}
+	})))
+	if err := em.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	core, err := New(testConfig(), p, init.Clone(), WithOracle(oracle), WithPerfectBP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Mem().Equal(em.Mem) {
+		t.Fatal("perfect-BP run diverges from emulator")
+	}
+	if core.Stats.Mispredicts != 0 {
+		t.Errorf("perfect BP mispredicts = %d, want 0", core.Stats.Mispredicts)
+	}
+
+	// And it must be faster than the real predictor.
+	base, _ := New(testConfig(), p, init.Clone())
+	if err := base.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if core.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("perfect BP (%d cycles) not faster than baseline (%d)", core.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestOrderingViolationDetected(t *testing.T) {
+	b := prog.NewBuilder()
+	b.BranchBQ("x")
+	b.Label("x")
+	b.Halt()
+	core, err := New(testConfig(), b.MustBuild(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = core.Run(0)
+	if err == nil {
+		t.Fatal("pop before any push must fail")
+	}
+}
+
+// TestSaveRestoreContextSwitch runs the full three-queue context-switch
+// sequence (save, clobber, restore, consume) on the cycle-level core and
+// checks it against the emulator — the §III-A/§IV-B context-switch story
+// end to end.
+func TestSaveRestoreContextSwitch(t *testing.T) {
+	const saveArea = 0x20000
+	b := prog.NewBuilder()
+	b.Li(1, 1)
+	b.PushBQ(1)
+	b.PushBQ(0)
+	b.PushBQ(1)
+	b.Li(2, 111)
+	b.PushVQ(2)
+	b.Li(2, 222)
+	b.PushVQ(2)
+	b.Li(2, 5)
+	b.PushTQ(2)
+	b.Li(3, saveArea)
+	b.SaveQueue(isa.SaveBQ, 3, 0)
+	b.SaveQueue(isa.SaveVQ, 3, 64)
+	b.SaveQueue(isa.SaveTQ, 3, 2048)
+	// Clobber: the "other process".
+	b.Li(4, 0)
+	b.PushBQ(4)
+	b.BranchBQ("g1")
+	b.Label("g1")
+	b.Li(4, 999)
+	b.PushVQ(4)
+	b.PopVQ(5)
+	b.PushTQ(4)
+	b.PopTQ()
+	b.Label("drain")
+	b.BranchTCR("drain")
+	b.SaveQueue(isa.RestoreBQ, 3, 0)
+	b.SaveQueue(isa.RestoreVQ, 3, 64)
+	b.SaveQueue(isa.RestoreTQ, 3, 2048)
+	// Consume the restored state and store the evidence.
+	b.Li(10, 0)
+	b.BranchBQ("p1")
+	b.Jump("bad")
+	b.Label("p1")
+	b.I(isa.ADDI, 10, 10, 1)
+	b.BranchBQ("bad")
+	b.I(isa.ADDI, 10, 10, 2)
+	b.BranchBQ("p3")
+	b.Jump("bad")
+	b.Label("p3")
+	b.I(isa.ADDI, 10, 10, 4)
+	b.PopVQ(11)
+	b.PopVQ(12)
+	b.PopTQ()
+	b.Li(13, 0)
+	b.Jump("tq")
+	b.Label("body")
+	b.I(isa.ADDI, 13, 13, 1)
+	b.Label("tq")
+	b.BranchTCR("body")
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 10, 30, 0)
+	b.Store(isa.SD, 11, 30, 8)
+	b.Store(isa.SD, 12, 30, 16)
+	b.Store(isa.SD, 13, 30, 24)
+	b.Halt()
+	b.Label("bad")
+	b.Halt()
+
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	m := core.Mem()
+	if got := m.Read(0x9000, 8); got != 7 {
+		t.Errorf("restored predicates consumed wrong: %d, want 7", got)
+	}
+	if m.Read(0x9008, 8) != 111 || m.Read(0x9010, 8) != 222 {
+		t.Errorf("restored VQ values = %d, %d", m.Read(0x9008, 8), m.Read(0x9010, 8))
+	}
+	if got := m.Read(0x9018, 8); got != 5 {
+		t.Errorf("restored trip count ran %d iterations, want 5", got)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Label("spin")
+	b.I(isa.ADDI, 1, 1, 1)
+	b.Jump("spin")
+	core, err := New(testConfig(), b.MustBuild(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(5000); !errors.Is(err, ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestDeepPipelineHurtsMispredictingCode(t *testing.T) {
+	const n = 1500
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 31))
+	p := condLoop(0x10000, 0x80000, n, 50)
+	shallow := runBoth(t, testConfig().WithDepth(5), p, m)
+	deep := runBoth(t, testConfig().WithDepth(20), p, m)
+	if deep.Stats.Cycles <= shallow.Stats.Cycles {
+		t.Errorf("deep pipeline (%d cycles) not slower than shallow (%d)",
+			deep.Stats.Cycles, shallow.Stats.Cycles)
+	}
+}
+
+func TestJALJRRoundTrip(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(9, 0)
+	b.Li(10, 5)
+	b.Label("loop")
+	b.Jal(31, "fn")
+	b.I(isa.ADDI, 10, 10, -1)
+	b.Branch(isa.BNE, 10, 0, "loop")
+	b.Li(30, 0x9000)
+	b.Store(isa.SD, 9, 30, 0)
+	b.Halt()
+	b.Label("fn")
+	b.I(isa.ADDI, 9, 9, 7)
+	b.Jr(31)
+	core := runBoth(t, testConfig(), b.MustBuild(), nil)
+	if got := core.Mem().Read(0x9000, 8); got != 35 {
+		t.Errorf("result = %d, want 35", got)
+	}
+}
+
+// TestRandomDifferential cross-checks the pipeline against the emulator on
+// randomized structured programs: counted loops with data-dependent
+// hammocks, loads, stores, and ALU traffic.
+func TestRandomDifferential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		b := prog.NewBuilder()
+		const dataBase = 0x20000
+		b.Li(1, dataBase)
+		b.Li(2, int64(50+rng.Intn(100))) // outer trip count
+		for r := isa.Reg(10); r <= 18; r++ {
+			b.Li(r, rng.Int63n(1000))
+		}
+		b.Label("loop")
+		nBody := 5 + rng.Intn(15)
+		for i := 0; i < nBody; i++ {
+			r1 := isa.Reg(10 + rng.Intn(9))
+			r2 := isa.Reg(10 + rng.Intn(9))
+			rd := isa.Reg(10 + rng.Intn(9))
+			switch rng.Intn(7) {
+			case 0:
+				b.R(isa.ADD, rd, r1, r2)
+			case 1:
+				b.R(isa.XOR, rd, r1, r2)
+			case 2:
+				b.R(isa.MUL, rd, r1, r2)
+			case 3:
+				// Bounded load: index = r1 & 1023.
+				b.I(isa.ANDI, 20, r1, 1023)
+				b.I(isa.SHLI, 20, 20, 3)
+				b.R(isa.ADD, 20, 20, 1)
+				b.Load(isa.LD, rd, 20, 0)
+			case 4:
+				b.I(isa.ANDI, 20, r1, 1023)
+				b.I(isa.SHLI, 20, 20, 3)
+				b.R(isa.ADD, 20, 20, 1)
+				b.Store(isa.SD, r2, 20, 0)
+			case 5:
+				// Data-dependent hammock.
+				lbl := labelName(seed, i)
+				b.I(isa.ANDI, 21, r1, 3)
+				b.Branch(isa.BNE, 21, 0, lbl)
+				b.I(isa.ADDI, rd, rd, 13)
+				b.R(isa.SUB, rd, rd, r2)
+				b.Label(lbl)
+			case 6:
+				b.R(isa.CMOVNZ, rd, r1, r2)
+			}
+		}
+		b.I(isa.ADDI, 2, 2, -1)
+		b.Branch(isa.BNE, 2, 0, "loop")
+		storeRegs(b, 0x9000)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mem.New()
+		m.WriteUint64s(dataBase, randomArray(1024, 1<<30, seed+100))
+		runBoth(t, testConfig(), p, m)
+	}
+}
+
+var labelCounter int
+
+func labelName(seed int64, i int) string {
+	labelCounter++
+	return "h" + string(rune('a'+seed)) + "_" + itoa(i) + "_" + itoa(labelCounter)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

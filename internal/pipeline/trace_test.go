@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"cfd/internal/mem"
+)
+
+func TestPipeviewTrace(t *testing.T) {
+	const n = 50
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 41))
+	core, err := New(testConfig(), condLoop(0x10000, 0x80000, n, 50), m, WithTrace(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := core.Trace()
+	if len(evs) != 40 {
+		t.Fatalf("trace collected %d events, want 40", len(evs))
+	}
+	sawSquashed := false
+	for _, e := range evs {
+		if e.Squashed {
+			sawSquashed = true
+			continue
+		}
+		if !(e.FetchAt <= e.RenameAt && e.RenameAt <= e.DoneAt && e.DoneAt <= e.RetireAt) {
+			t.Errorf("seq %d: stage order violated: F%d R%d C%d X%d",
+				e.Seq, e.FetchAt, e.RenameAt, e.DoneAt, e.RetireAt)
+		}
+		if e.IssueAt != 0 && (e.IssueAt < e.RenameAt || e.IssueAt > e.DoneAt) {
+			t.Errorf("seq %d: issue out of order: R%d I%d C%d", e.Seq, e.RenameAt, e.IssueAt, e.DoneAt)
+		}
+	}
+	if !sawSquashed {
+		t.Log("no squashed uops in the first 40 (acceptable)")
+	}
+	view := core.Pipeview()
+	for _, want := range []string{"cycle origin", "F", "X", "|"} {
+		if !strings.Contains(view, want) {
+			t.Errorf("Pipeview missing %q:\n%s", want, view)
+		}
+	}
+	// The fetch-to-execute depth must be visible: for the first load,
+	// issue happens no earlier than FrontEndDepth-1 cycles after fetch.
+	for _, e := range evs {
+		if strings.HasPrefix(e.Inst, "ld") && !e.Squashed && e.IssueAt > 0 {
+			if gap := e.IssueAt - e.FetchAt; gap < uint64(testConfig().FrontEndDepth-1) {
+				t.Errorf("fetch-to-issue gap %d below front-end depth", gap)
+			}
+			break
+		}
+	}
+}
+
+func TestPipeviewWithoutTrace(t *testing.T) {
+	core, err := New(testConfig(), condLoop(0x10000, 0x80000, 5, 50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(core.Pipeview(), "no trace") {
+		t.Error("untraced Pipeview must say so")
+	}
+}

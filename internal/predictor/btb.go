@@ -1,0 +1,163 @@
+package predictor
+
+// BTB is a set-associative branch target buffer. Its role (paper §III-C4):
+// detect control instructions and provide their taken-targets in the same
+// cycle they are fetched. A taken branch that misses in the BTB costs a
+// one-cycle misfetch penalty. BranchBQ/BranchTCR instructions are cached
+// like every other branch so a queue-resolved taken pop pays no penalty on
+// a BTB hit.
+type BTB struct {
+	sets    [][]btbEntry
+	setMask uint64
+	ways    int
+	hits    uint64
+	misses  uint64
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint64
+}
+
+// NewBTB returns a BTB with 2^logSets sets of the given associativity.
+func NewBTB(logSets, ways int) *BTB {
+	b := &BTB{
+		sets:    make([][]btbEntry, 1<<logSets),
+		setMask: 1<<logSets - 1,
+		ways:    ways,
+	}
+	for i := range b.sets {
+		b.sets[i] = make([]btbEntry, ways)
+	}
+	return b
+}
+
+var btbClock uint64
+
+// Lookup returns the cached taken-target for pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	set := b.sets[pc&b.setMask]
+	tag := pc >> 1
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			btbClock++
+			set[i].lru = btbClock
+			b.hits++
+			return set[i].target, true
+		}
+	}
+	b.misses++
+	return 0, false
+}
+
+// Insert records pc's taken-target, replacing the LRU way on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	set := b.sets[pc&b.setMask]
+	tag := pc >> 1
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	btbClock++
+	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: btbClock}
+}
+
+// Stats returns hit and miss counts.
+func (b *BTB) Stats() (hits, misses uint64) { return b.hits, b.misses }
+
+// RAS is a fixed-depth return address stack with simple overwrite-on-
+// overflow semantics. The pipeline checkpoints the top-of-stack index at
+// branches; full content corruption from deep wrong paths is accepted
+// (standard simulator behavior).
+type RAS struct {
+	stack []uint64
+	top   int // number of valid entries (logical; wraps physically)
+}
+
+// NewRAS returns a RAS with the given depth.
+func NewRAS(depth int) *RAS { return &RAS{stack: make([]uint64, depth)} }
+
+// Push records a return address (call).
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top%len(r.stack)] = addr
+	r.top++
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.top--
+	return r.stack[r.top%len(r.stack)], true
+}
+
+// Top returns the logical top-of-stack index for checkpointing.
+func (r *RAS) Top() int { return r.top }
+
+// SetTop restores the logical top-of-stack index.
+func (r *RAS) SetTop(t int) {
+	if t < 0 {
+		t = 0
+	}
+	r.top = t
+}
+
+// Confidence is a JRS-style branch confidence estimator: a table of
+// miss-distance counters (resetting counters) indexed by PC and global
+// history. The baseline uses it to decide which predicted branches deserve
+// one of the scarce checkpoints (confidence-guided checkpointing, §VI).
+type Confidence struct {
+	ctrs   []uint8
+	mask   uint32
+	thresh uint8
+	max    uint8
+}
+
+// NewConfidence returns an estimator with 2^logSize counters; a branch is
+// low-confidence until its counter reaches thresh consecutive correct
+// predictions.
+func NewConfidence(logSize int, thresh uint8) *Confidence {
+	return &Confidence{
+		ctrs:   make([]uint8, 1<<logSize),
+		mask:   1<<logSize - 1,
+		thresh: thresh,
+		max:    15,
+	}
+}
+
+func (c *Confidence) index(pc uint64) uint32 {
+	return (uint32(pc) ^ uint32(pc>>13)) & c.mask
+}
+
+// HighConfidence reports whether pc's prediction is trusted (no checkpoint
+// needed).
+func (c *Confidence) HighConfidence(pc uint64) bool {
+	return c.ctrs[c.index(pc)] >= c.thresh
+}
+
+// Update trains the estimator with the resolved outcome of a prediction:
+// correct predictions increment the resetting counter, mispredictions clear
+// it.
+func (c *Confidence) Update(pc uint64, correct bool) {
+	i := c.index(pc)
+	if correct {
+		if c.ctrs[i] < c.max {
+			c.ctrs[i]++
+		}
+	} else {
+		c.ctrs[i] = 0
+	}
+}

@@ -1,0 +1,198 @@
+package prog
+
+import (
+	"fmt"
+
+	"cfd/internal/isa"
+)
+
+// Builder assembles a Program instruction by instruction, with forward
+// label references resolved at Build time. All emit methods return the
+// Builder for chaining. Errors (duplicate labels, unresolved references)
+// are accumulated and reported by Build.
+type Builder struct {
+	insts  []isa.Inst
+	labels map[string]uint64
+	notes  map[uint64]BranchNote
+	// fixups maps instruction index → label whose pc must be patched into
+	// the PC-relative immediate.
+	fixups map[int]string
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]uint64),
+		notes:  make(map[uint64]BranchNote),
+		fixups: make(map[int]string),
+	}
+}
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return uint64(len(b.insts)) }
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("prog: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+// Note annotates the next emitted instruction (normally a branch) for the
+// classification study.
+func (b *Builder) Note(name string, class BranchClass) *Builder {
+	b.notes[b.PC()] = BranchNote{Name: name, Class: class}
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitToLabel(in isa.Inst, label string) *Builder {
+	b.fixups[len(b.insts)] = label
+	return b.emit(in)
+}
+
+// R emits a three-register ALU operation (ADD, SUB, MUL, ..., CMOVZ).
+func (b *Builder) R(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I emits a register-immediate ALU operation (ADDI, SLTI, ...).
+func (b *Builder) I(op isa.Op, rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads a constant into rd.
+func (b *Builder) Li(rd isa.Reg, imm int64) *Builder {
+	return b.I(isa.ADDI, rd, isa.Zero, imm)
+}
+
+// Mov copies rs into rd.
+func (b *Builder) Mov(rd, rs isa.Reg) *Builder {
+	return b.I(isa.ADDI, rd, rs, 0)
+}
+
+// Load emits a load: rd = mem[base + off].
+func (b *Builder) Load(op isa.Op, rd, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+// Store emits a store: mem[base + off] = src.
+func (b *Builder) Store(op isa.Op, src, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rs1: base, Rs2: src, Imm: off})
+}
+
+// Pref emits a software prefetch of base + off.
+func (b *Builder) Pref(base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.PREF, Rs1: base, Imm: off})
+}
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jump emits an unconditional jump to a label.
+func (b *Builder) Jump(label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: isa.J}, label)
+}
+
+// Jal emits a jump-and-link to a label.
+func (b *Builder) Jal(rd isa.Reg, label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: isa.JAL, Rd: rd}, label)
+}
+
+// Jr emits a register-indirect jump.
+func (b *Builder) Jr(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.JR, Rs1: rs})
+}
+
+// Nop emits a NOP; Halt stops the machine.
+func (b *Builder) Nop() *Builder  { return b.emit(isa.Inst{Op: isa.NOP}) }
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.HALT}) }
+
+// PushBQ pushes (rs != 0) onto the branch queue.
+func (b *Builder) PushBQ(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.PushBQ, Rs1: rs})
+}
+
+// BranchBQ pops a predicate and branches to label when it is 1.
+func (b *Builder) BranchBQ(label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: isa.BranchBQ}, label)
+}
+
+// MarkBQ marks the BQ tail; ForwardBQ bulk-pops through the mark.
+func (b *Builder) MarkBQ() *Builder    { return b.emit(isa.Inst{Op: isa.MarkBQ}) }
+func (b *Builder) ForwardBQ() *Builder { return b.emit(isa.Inst{Op: isa.ForwardBQ}) }
+
+// PushVQ pushes the value of rs onto the value queue; PopVQ pops into rd.
+func (b *Builder) PushVQ(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.PushVQ, Rs1: rs})
+}
+func (b *Builder) PopVQ(rd isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.PopVQ, Rd: rd})
+}
+
+// PushTQ pushes a trip count; PopTQ pops it into the TCR; BranchTCR
+// tests/decrements the TCR; PopTQOV pops and branches to label on overflow.
+func (b *Builder) PushTQ(rs isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.PushTQ, Rs1: rs})
+}
+func (b *Builder) PopTQ() *Builder { return b.emit(isa.Inst{Op: isa.PopTQ}) }
+func (b *Builder) BranchTCR(label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: isa.BranchTCR}, label)
+}
+func (b *Builder) PopTQOV(label string) *Builder {
+	return b.emitToLabel(isa.Inst{Op: isa.PopTQOV}, label)
+}
+
+// SaveQueue emits one of the save/restore context-switch instructions with
+// a base register and displacement.
+func (b *Builder) SaveQueue(op isa.Op, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rs1: base, Imm: off})
+}
+
+// Raw appends a pre-formed instruction verbatim.
+func (b *Builder) Raw(in isa.Inst) *Builder { return b.emit(in) }
+
+// Build resolves label references and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for idx, label := range b.fixups {
+		pc, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q at pc %d", label, idx)
+		}
+		insts[idx].Imm = int64(pc) - int64(idx)
+	}
+	labels := make(map[string]uint64, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	notes := make(map[uint64]BranchNote, len(b.notes))
+	for k, v := range b.notes {
+		notes[k] = v
+	}
+	return &Program{Insts: insts, Labels: labels, Notes: notes}, nil
+}
+
+// MustBuild is Build that panics on error; for statically known-good
+// workload construction.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,134 @@
+// Package prog represents CFD-RISC programs: an instruction sequence plus
+// the symbol and branch-annotation metadata the workloads, classifier, and
+// simulator share.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"cfd/internal/isa"
+)
+
+// BranchClass is the paper's four-way control-flow classification (§II-B),
+// refined with the totally/partially separable split and the separable
+// loop-branch flavor (§IV-C).
+type BranchClass uint8
+
+// Branch classes.
+const (
+	NotAnalyzed      BranchClass = iota // small contribution to mispredictions
+	Hammock                             // small CD region; if-conversion target
+	SeparableTotal                      // large CD region, slice fully separable (CFD)
+	SeparablePartial                    // slice contains few CD instructions (CFD + if-conversion)
+	SeparableLoop                       // separable loop-branch (CFD with the TQ)
+	Inseparable                         // slice depends on many CD instructions
+	EasyToPredict                       // loop back-edges etc.; predictor handles them
+)
+
+// String returns a short human-readable class name.
+func (c BranchClass) String() string {
+	switch c {
+	case NotAnalyzed:
+		return "not-analyzed"
+	case Hammock:
+		return "hammock"
+	case SeparableTotal:
+		return "separable(total)"
+	case SeparablePartial:
+		return "separable(partial)"
+	case SeparableLoop:
+		return "separable(loop-branch)"
+	case Inseparable:
+		return "inseparable"
+	case EasyToPredict:
+		return "easy"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Separable reports whether CFD applies to this class.
+func (c BranchClass) Separable() bool {
+	return c == SeparableTotal || c == SeparablePartial || c == SeparableLoop
+}
+
+// BranchNote annotates a static branch for the classification study.
+type BranchNote struct {
+	Name  string // e.g. "test[i] > theeps"
+	Class BranchClass
+}
+
+// Program is an assembled CFD-RISC program. PCs are instruction indices.
+type Program struct {
+	Insts  []isa.Inst
+	Labels map[string]uint64 // code labels → pc
+	Notes  map[uint64]BranchNote
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns the instruction at pc, or HALT when pc falls outside the
+// program (running off the end stops the machine).
+func (p *Program) At(pc uint64) isa.Inst {
+	if pc >= uint64(len(p.Insts)) {
+		return isa.Inst{Op: isa.HALT}
+	}
+	return p.Insts[pc]
+}
+
+// LabelAt returns the pc of a label.
+func (p *Program) LabelAt(name string) (uint64, bool) {
+	pc, ok := p.Labels[name]
+	return pc, ok
+}
+
+// Disassemble renders the program with labels and per-branch annotations.
+func (p *Program) Disassemble() string {
+	byPC := make(map[uint64][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var b strings.Builder
+	for pc, in := range p.Insts {
+		for _, l := range byPC[uint64(pc)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%6d:  %s", pc, in)
+		if note, ok := p.Notes[uint64(pc)]; ok {
+			fmt.Fprintf(&b, "    ; %s [%s]", note.Name, note.Class)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Encode returns the binary image of the program.
+func (p *Program) Encode() ([]uint64, error) {
+	words := make([]uint64, len(p.Insts))
+	for i, in := range p.Insts {
+		w, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("prog: pc %d: %w", i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// Decode rebuilds a program (without labels or notes) from a binary image.
+func Decode(words []uint64) (*Program, error) {
+	p := &Program{
+		Labels: make(map[string]uint64),
+		Notes:  make(map[uint64]BranchNote),
+	}
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("prog: word %d: %w", i, err)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	return p, nil
+}

@@ -1,0 +1,167 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"cfd/internal/isa"
+)
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 0)                      // 0: addi r1, r0, 0
+	b.Label("loop")                 //
+	b.I(isa.ADDI, 1, 1, 1)          // 1: r1++
+	b.I(isa.SLTI, 2, 1, 10)         // 2: r2 = r1 < 10
+	b.Branch(isa.BNE, 2, 0, "loop") // 3: backward branch
+	b.Halt()                        // 4
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	br := p.Insts[3]
+	if br.Target(3) != 1 {
+		t.Errorf("branch target = %d, want 1", br.Target(3))
+	}
+	if pc, ok := p.LabelAt("loop"); !ok || pc != 1 {
+		t.Errorf("LabelAt(loop) = %d,%v", pc, ok)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder()
+	b.Branch(isa.BEQ, 1, 0, "done") // 0
+	b.Nop()                         // 1
+	b.Label("done")
+	b.Halt() // 2
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target(0) != 2 {
+		t.Errorf("forward target = %d, want 2", p.Insts[0].Target(0))
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestNoteAttachesToNextInstruction(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Note("if (a[i])", SeparableTotal)
+	b.BranchBQ("skip")
+	b.Label("skip").Halt()
+	p := b.MustBuild()
+	note, ok := p.Notes[1]
+	if !ok || note.Class != SeparableTotal || note.Name != "if (a[i])" {
+		t.Errorf("note = %+v, %v", note, ok)
+	}
+}
+
+func TestAtPastEndReturnsHalt(t *testing.T) {
+	p := NewBuilder().Nop().MustBuild()
+	if p.At(99).Op != isa.HALT {
+		t.Error("At past end must be HALT")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 1234)
+	b.Label("l")
+	b.R(isa.ADD, 2, 1, 1)
+	b.Branch(isa.BNE, 2, 0, "l")
+	b.PushBQ(3)
+	b.BranchBQ("l")
+	b.Halt()
+	p := b.MustBuild()
+	words, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("decoded Len = %d, want %d", q.Len(), p.Len())
+	}
+	for i := range p.Insts {
+		if q.Insts[i] != p.Insts[i] {
+			t.Errorf("inst %d = %+v, want %+v", i, q.Insts[i], p.Insts[i])
+		}
+	}
+}
+
+func TestDisassembleShowsLabelsAndNotes(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top")
+	b.Note("hard branch", SeparablePartial)
+	b.Branch(isa.BLT, 1, 2, "top")
+	b.Halt()
+	out := b.MustBuild().Disassemble()
+	for _, want := range []string{"top:", "blt", "hard branch", "separable(partial)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBranchClassPredicates(t *testing.T) {
+	for _, c := range []BranchClass{SeparableTotal, SeparablePartial, SeparableLoop} {
+		if !c.Separable() {
+			t.Errorf("%v must be separable", c)
+		}
+	}
+	for _, c := range []BranchClass{Hammock, Inseparable, NotAnalyzed, EasyToPredict} {
+		if c.Separable() {
+			t.Errorf("%v must not be separable", c)
+		}
+	}
+}
+
+func TestBranchClassStrings(t *testing.T) {
+	if SeparableLoop.String() != "separable(loop-branch)" {
+		t.Errorf("got %q", SeparableLoop.String())
+	}
+	if BranchClass(99).String() == "" {
+		t.Error("unknown class must still render")
+	}
+}
+
+func TestBuilderCFDEmitters(t *testing.T) {
+	b := NewBuilder()
+	b.MarkBQ().PushVQ(1).PopVQ(2).PushTQ(3).PopTQ().ForwardBQ()
+	b.Label("l")
+	b.BranchTCR("l").PopTQOV("l")
+	b.SaveQueue(isa.SaveBQ, 5, 128)
+	p := b.MustBuild()
+	wantOps := []isa.Op{isa.MarkBQ, isa.PushVQ, isa.PopVQ, isa.PushTQ, isa.PopTQ,
+		isa.ForwardBQ, isa.BranchTCR, isa.PopTQOV, isa.SaveBQ}
+	for i, op := range wantOps {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d op = %v, want %v", i, p.Insts[i].Op, op)
+		}
+	}
+	// BranchTCR at pc 6 targets label "l" at pc 6 → offset 0.
+	if p.Insts[6].Imm != 0 {
+		t.Errorf("BranchTCR offset = %d, want 0", p.Insts[6].Imm)
+	}
+}

@@ -1,0 +1,132 @@
+// Package stats provides the table and series formatting used by the
+// experiment harness to print paper-style tables and figure data.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; cells beyond the column count are dropped, missing
+// cells render empty.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted values: strings pass through, float64
+// render with two decimals, integers plainly.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Add(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a signed percentage change ("+23.4%").
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}
+
+// Ratio formats a speedup ("1.23x").
+func Ratio(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// Share formats a fraction as a percentage ("12.3%").
+func Share(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Histogram renders value buckets as an ASCII bar chart.
+func Histogram(title string, labels []string, values []uint64) string {
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var total uint64
+	for _, v := range values {
+		total += v
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for i, v := range values {
+		bar := 0
+		if max > 0 {
+			bar = int(v * 40 / max)
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(v) / float64(total)
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-8s %-40s %6.2f%%\n", label, strings.Repeat("#", bar), 100*share)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Add("x", "1")
+	tab.Addf("longer-name", 3.14159)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float not formatted")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the same prefix width.
+	if len(lines[1]) < len("longer-name") {
+		t.Error("column width not expanded to fit rows")
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.Add("only")
+	tab.Add("x", "y", "dropped")
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(1.234) != "+23.4%" {
+		t.Errorf("Pct = %q", Pct(1.234))
+	}
+	if Pct(0.9) != "-10.0%" {
+		t.Errorf("Pct = %q", Pct(0.9))
+	}
+	if Ratio(1.5) != "1.50x" {
+		t.Errorf("Ratio = %q", Ratio(1.5))
+	}
+	if Share(0.123) != "12.3%" {
+		t.Errorf("Share = %q", Share(0.123))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("h", []string{"0", "1", "2"}, []uint64{1, 2, 1})
+	if !strings.Contains(out, "== h ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "50.00%") {
+		t.Errorf("missing share:\n%s", out)
+	}
+	// Empty histogram must not panic.
+	_ = Histogram("e", nil, []uint64{0, 0})
+}

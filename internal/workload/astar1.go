@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// astar1like mirrors astar region #1, the paper's case study (Fig 22, §VII-B).
+// The loop walks an index array into a large map (random gather: many cache
+// misses feeding the branches) with three challenging features:
+//
+//  1. Two nested hard-to-predict branches; the inner one's memory reference
+//     is only performed when the outer predicate holds.
+//  2. A short loop-carried dependence: the control-dependent region sets
+//     map[x] = fill, which the outer predicate (map[x] != fill) of later
+//     iterations reads. The update is monotone (unfilled → filled), exactly
+//     like astar's waymap fill numbers, which is what makes the decoupled
+//     evaluation correct.
+//  3. An early exit when the target cell is filled (astar's early return).
+//
+// The CFD variant decouples into three loops (Fig 22): the first evaluates
+// the outer condition for the chunk; the second — guarded by the popped
+// outer predicate — re-evaluates the fresh outer value, performs the inner
+// (previously unsafe) load, applies the if-converted loop-carried update
+// with conditional moves, and pushes the combined predicate; the third
+// guards the control-dependent region with the combined predicate. Both the
+// second and third loops duplicate the early-exit check; Mark and Forward
+// bulk-pop the excess pushes each time a loop exits early (§IV-A).
+//
+// Register conventions:
+//
+//	r1 idx ptr    r2 map base   r3 aux base   r4 remaining  r5 fill
+//	r6 total      r7 x          r8 m/p1       r9 q          r10 comb
+//	r11 tmp       r12 sum       r13 cnt       r14 out base  r15 const3/r27 endT
+//	r16 chunkN    r17 tmp       r18 j         r19 saved idx r20 brk tmp
+//	r21 ptr2      r22 ptr3      r23 pf ptr    r24 pf cnt    r25 tmp
+const (
+	astar1IdxBase = 0x0400_0000
+	astar1MapBase = 0x0500_0000
+	astar1AuxBase = 0x1500_0000
+	astar1OutBase = 0x2500_0000
+	astar1Result  = 0x0041_0000
+	astar1Total   = 500
+)
+
+func init() {
+	register(&Spec{
+		Name:     "astar1like",
+		Analog:   "astar region #1 (SPEC2006, makebound2)",
+		Function: "makebound2 analog",
+		TimePct:  47,
+		Class:    prog.SeparablePartial,
+		Variants: []Variant{Base, CFD, DFD, CFDDFD},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildAstar1,
+	})
+}
+
+func astar1MapN(n int64) int64 {
+	mapN := 4 * n
+	if mapN < 1<<14 {
+		mapN = 1 << 14
+	}
+	return mapN
+}
+
+func astar1Mem(n int64) (*mem.Memory, int64) {
+	rng := rngFor("astar1like")
+	mapN := astar1MapN(n)
+	m := mem.New()
+	idx := make([]uint64, n)
+	endT := uint64(mapN - 1) // reserved target index, planted once
+	for i := range idx {
+		idx[i] = uint64(rng.Int63n(mapN - 1))
+	}
+	// Plant the early-exit target ~95% through the index stream.
+	exitPos := int(float64(n) * 0.95)
+	if exitPos >= int(n) {
+		exitPos = int(n) - 1
+	}
+	idx[exitPos] = endT
+	m.WriteUint64s(astar1IdxBase, idx)
+
+	mapArr := make([]uint64, mapN)
+	auxArr := make([]uint64, mapN)
+	const fill = 7
+	for i := range mapArr {
+		if rng.Intn(100) < 45 {
+			mapArr[i] = fill // ~45% pre-filled: outer predicate ~55% taken
+		} else {
+			mapArr[i] = uint64(1 + rng.Intn(5))
+		}
+		auxArr[i] = uint64(rng.Int63n(1000)) // ~50% pass the inner test
+	}
+	mapArr[endT] = 1 // target must be unfilled
+	auxArr[endT] = 0 // and pass the inner test
+	m.WriteUint64s(astar1MapBase, mapArr)
+	m.WriteUint64s(astar1AuxBase, auxArr)
+	return m, mapN
+}
+
+func astar1Prolog(b *prog.Builder, n, mapN int64) {
+	b.Li(1, astar1IdxBase)
+	b.Li(2, astar1MapBase)
+	b.Li(3, astar1AuxBase)
+	b.Li(4, n)
+	b.Li(5, 7) // fill
+	b.Li(6, astar1Total)
+	b.Li(12, 0) // sum
+	b.Li(13, 0) // cnt
+	b.Li(14, astar1OutBase)
+	b.Li(15, 3)      // CD-region multiplier constant
+	b.Li(27, mapN-1) // endT
+}
+
+func astar1Epilog(b *prog.Builder) {
+	b.Label("regiondone")
+	b.Li(30, astar1Result)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Store(isa.SD, 13, 30, 8)
+	b.Halt()
+}
+
+// astar1CD emits the third-loop control-dependent region: x in r7, q
+// (aux[x]) in r9; updates sum (r12), cnt (r13), appends x and a derived
+// heuristic value to out. The region is deliberately large — bound
+// maintenance, priority computation, appends — which is exactly what makes
+// the branch unsuitable for if-conversion and CFD profitable.
+func astar1CD(b *prog.Builder) {
+	b.R(isa.ADD, 12, 12, 9)
+	b.R(isa.ADD, 12, 12, 7)
+	b.I(isa.SHLI, 11, 13, 4)
+	b.R(isa.ADD, 11, 11, 14)
+	b.Store(isa.SD, 7, 11, 0) // out[2*cnt] = x
+	// Heuristic/priority computation over x and q.
+	b.R(isa.MUL, 25, 9, 15)
+	b.I(isa.ADDI, 25, 25, 41)
+	b.R(isa.XOR, 26, 25, 7)
+	b.I(isa.SHRI, 26, 26, 3)
+	b.R(isa.ADD, 25, 25, 26)
+	b.I(isa.SHLI, 26, 25, 1)
+	b.R(isa.SUB, 26, 26, 9)
+	b.R(isa.ADD, 12, 12, 26)
+	b.Store(isa.SD, 25, 11, 8) // out[2*cnt+1] = priority
+	b.I(isa.ADDI, 13, 13, 1)
+	b.R(isa.XOR, 25, 12, 13)
+	b.I(isa.SHRI, 25, 25, 1)
+	b.R(isa.ADD, 12, 12, 25)
+}
+
+// emitBaseIter emits one baseline iteration body (shared by base and DFD).
+// Labels are suffixed so the caller can instantiate it in different loops.
+func astar1BaseBody(b *prog.Builder, sfx string) {
+	b.Load(isa.LD, 7, 1, 0) // x = idx[i]
+	b.I(isa.SHLI, 11, 7, 3)
+	b.R(isa.ADD, 11, 11, 2)
+	b.Load(isa.LD, 8, 11, 0) // m = map[x]
+	b.Note("map[x] != fill", prog.SeparablePartial)
+	b.Branch(isa.BEQ, 8, 5, "skip"+sfx) // outer: skip when filled
+	b.I(isa.SHLI, 11, 7, 3)
+	b.R(isa.ADD, 11, 11, 3)
+	b.Load(isa.LD, 9, 11, 0) // q = aux[x] (only safe under the outer predicate)
+	b.Note("aux[x] <= total", prog.SeparableTotal)
+	b.Branch(isa.BLT, 6, 9, "skip"+sfx) // inner: skip when q > total
+	// Loop-carried update: map[x] = fill.
+	b.I(isa.SHLI, 11, 7, 3)
+	b.R(isa.ADD, 11, 11, 2)
+	b.Store(isa.SD, 5, 11, 0)
+	astar1CD(b)
+	b.Note("x == endT (early exit)", prog.EasyToPredict)
+	b.Branch(isa.BEQ, 7, 27, "regiondone")
+	b.Label("skip" + sfx)
+	b.I(isa.ADDI, 1, 1, 8)
+}
+
+func buildAstar1(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	m, mapN := astar1Mem(n)
+	b := prog.NewBuilder()
+	astar1Prolog(b, n, mapN)
+
+	switch v {
+	case Base:
+		b.Label("loop")
+		astar1BaseBody(b, "0")
+		b.I(isa.ADDI, 4, 4, -1)
+		b.Branch(isa.BNE, 4, 0, "loop")
+		astar1Epilog(b)
+
+	case DFD:
+		// Fig 16: a prefetch loop carrying only the branch-feeding loads
+		// and their address slices precedes each chunk of the original.
+		b.Label("chunk")
+		b.Li(16, ChunkSize)
+		b.R(isa.SLT, 17, 4, 16)
+		b.R(isa.CMOVNZ, 16, 4, 17)
+		b.Mov(23, 1)
+		b.Mov(24, 16)
+		b.Label("pf")
+		b.Load(isa.LD, 7, 23, 0)
+		b.I(isa.SHLI, 11, 7, 3)
+		b.R(isa.ADD, 25, 11, 2)
+		b.Pref(25, 0) // map[x]
+		b.R(isa.ADD, 25, 11, 3)
+		b.Pref(25, 0) // aux[x]
+		b.I(isa.ADDI, 23, 23, 8)
+		b.I(isa.ADDI, 24, 24, -1)
+		b.Branch(isa.BNE, 24, 0, "pf")
+		b.Mov(18, 16)
+		b.Label("loop")
+		astar1BaseBody(b, "0")
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "loop")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+		astar1Epilog(b)
+
+	case CFD, CFDDFD:
+		// Two BQ streams share the architectural BQ, so the chunk is
+		// half the BQ size.
+		const chunk = ChunkSize / 2
+		b.Label("chunk")
+		b.Li(16, chunk)
+		b.R(isa.SLT, 17, 4, 16)
+		b.R(isa.CMOVNZ, 16, 4, 17)
+		if v == CFDDFD {
+			b.Mov(23, 1)
+			b.Mov(24, 16)
+			b.Label("pf")
+			b.Load(isa.LD, 7, 23, 0)
+			b.I(isa.SHLI, 11, 7, 3)
+			b.R(isa.ADD, 25, 11, 2)
+			b.Pref(25, 0)
+			b.R(isa.ADD, 25, 11, 3)
+			b.Pref(25, 0)
+			b.I(isa.ADDI, 23, 23, 8)
+			b.I(isa.ADDI, 24, 24, -1)
+			b.Branch(isa.BNE, 24, 0, "pf")
+		}
+		// Loop 1: outer-condition slice (stream 1).
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Label("gen")
+		b.Load(isa.LD, 7, 1, 0)
+		b.I(isa.SHLI, 11, 7, 3)
+		b.R(isa.ADD, 11, 11, 2)
+		b.Load(isa.LD, 8, 11, 0)
+		b.R(isa.SEQ, 8, 8, 5)
+		b.I(isa.XORI, 8, 8, 1) // p1 = (map[x] != fill)
+		b.PushBQ(8)
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		b.MarkBQ() // end of stream 1
+		// Loop 2: guarded combined-condition evaluation with the
+		// if-converted loop-carried update (stream 2).
+		b.Mov(18, 16)
+		b.Mov(21, 19)
+		b.Label("mid")
+		b.Note("map[x] != fill (decoupled guard)", prog.SeparablePartial)
+		b.BranchBQ("midwork")
+		b.PushBQ(0) // outer false: combined predicate is 0
+		b.Jump("midskip")
+		b.Label("midwork")
+		b.Load(isa.LD, 7, 21, 0)
+		b.I(isa.SHLI, 11, 7, 3)
+		b.R(isa.ADD, 11, 11, 2)
+		b.Load(isa.LD, 8, 11, 0) // fresh m (sees this chunk's updates)
+		b.R(isa.SEQ, 25, 8, 5)
+		b.I(isa.XORI, 25, 25, 1) // fresh p1
+		b.I(isa.SHLI, 17, 7, 3)
+		b.R(isa.ADD, 17, 17, 3)
+		b.Load(isa.LD, 9, 17, 0) // q = aux[x] (safe: outer held at chunk start)
+		b.R(isa.SLT, 10, 6, 9)
+		b.I(isa.XORI, 10, 10, 1) // q <= total
+		b.R(isa.AND, 10, 10, 25) // comb
+		// If-converted update: store fill when comb, else the old value.
+		b.Mov(17, 8)
+		b.R(isa.CMOVNZ, 17, 5, 10)
+		b.Store(isa.SD, 17, 11, 0)
+		b.PushBQ(10)
+		// Duplicated early-exit check (break, not return).
+		b.R(isa.SEQ, 20, 7, 27)
+		b.R(isa.AND, 20, 20, 10)
+		b.Branch(isa.BNE, 20, 0, "midbreak")
+		b.Label("midskip")
+		b.I(isa.ADDI, 21, 21, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "mid")
+		b.Label("midbreak")
+		b.ForwardBQ() // discard stream-1 leftovers
+		b.MarkBQ()    // end of stream 2
+		// Loop 3: control-dependent region guarded by the combined
+		// predicate.
+		b.Mov(18, 16)
+		b.Mov(22, 19)
+		b.Label("fin")
+		b.Note("combined (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("finwork")
+		b.Jump("finskip")
+		b.Label("finwork")
+		b.Load(isa.LD, 7, 22, 0)
+		b.I(isa.SHLI, 11, 7, 3)
+		b.R(isa.ADD, 11, 11, 3)
+		b.Load(isa.LD, 9, 11, 0)
+		astar1CD(b)
+		b.R(isa.SEQ, 20, 7, 27)
+		b.Branch(isa.BNE, 20, 0, "finbreak")
+		b.Label("finskip")
+		b.I(isa.ADDI, 22, 22, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "fin")
+		b.Label("finbreak")
+		b.ForwardBQ() // discard stream-2 leftovers
+		// The early exit ends the region; otherwise continue chunks.
+		b.Branch(isa.BNE, 20, 0, "regiondone")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+		astar1Epilog(b)
+
+	default:
+		return nil, nil, badVariant("astar1like", v)
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}

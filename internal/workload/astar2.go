@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// astar2like mirrors astar region #2 (Fig 14, §VII-D): an outer loop whose
+// inner loop has a data-dependent trip count bound[i] in 0..9 — a separable
+// loop-branch. The predictor cannot learn when the inner loop exits. After
+// CFD(TQ) removes the loop-branch mispredictions, the hard if inside the
+// inner loop body dominates (Fig 28), which CFD(BQ) then removes.
+//
+// Variants: base; cfdtq (trip counts through the TQ); cfdbq (BQ on the
+// inner if only); cfdbqtq (both).
+//
+// Register conventions:
+//
+//	r1 bound ptr  r2 data ptr   r3 out base   r4 remaining  r5 t
+//	r6 j          r7 v          r8 pred       r9-r11 temps  r12 acc
+//	r13 cnt       r16 chunkN    r17 tmp       r18 i         r19 saved bound
+//	r21 saved data r22 ptr2     r23 ptr3
+const (
+	astar2BoundBase = 0x0600_0000
+	astar2DataBase  = 0x0700_0000
+	astar2OutBase   = 0x0800_0000
+	astar2Result    = 0x0042_0000
+	astar2MaxTrip   = 10
+)
+
+func init() {
+	register(&Spec{
+		Name:     "astar2like",
+		Analog:   "astar region #2 (SPEC2006, loop-branch)",
+		Function: "wayobj::fill analog",
+		TimePct:  30,
+		Class:    prog.SeparableLoop,
+		Variants: []Variant{Base, CFDTQ, CFDBQ, CFDBQTQ},
+		DefaultN: 60_000,
+		TestN:    2_000,
+		Build:    buildAstar2,
+	})
+}
+
+func astar2Mem(n int64) *mem.Memory {
+	rng := rngFor("astar2like")
+	m := mem.New()
+	bound := make([]uint64, n)
+	data := make([]uint64, n*astar2MaxTrip)
+	for i := range bound {
+		bound[i] = uint64(rng.Intn(astar2MaxTrip)) // 0..9 trips, like astar
+	}
+	for i := range data {
+		data[i] = uint64(rng.Int63n(1 << 20))
+	}
+	m.WriteUint64s(astar2BoundBase, bound)
+	m.WriteUint64s(astar2DataBase, data)
+	return m
+}
+
+func astar2Prolog(b *prog.Builder, n int64) {
+	b.Li(1, astar2BoundBase)
+	b.Li(2, astar2DataBase)
+	b.Li(3, astar2OutBase)
+	b.Li(4, n)
+	b.Li(12, 0)
+	b.Li(13, 0)
+}
+
+func astar2Epilog(b *prog.Builder) {
+	b.Li(30, astar2Result)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Store(isa.SD, 13, 30, 8)
+	b.Halt()
+}
+
+// astar2CD emits the inner if's control-dependent region: v in r7; updates
+// acc (r12), cnt (r13), appends to out.
+func astar2CD(b *prog.Builder) {
+	b.I(isa.SHLI, 9, 7, 1)
+	b.R(isa.ADD, 12, 12, 9)
+	b.I(isa.SHLI, 10, 13, 3)
+	b.R(isa.ADD, 10, 10, 3)
+	b.Store(isa.SD, 12, 10, 0) // out[cnt] = acc
+	b.I(isa.ADDI, 13, 13, 1)
+	b.R(isa.XOR, 11, 12, 7)
+	b.I(isa.SHRI, 11, 11, 2)
+	b.R(isa.ADD, 12, 12, 11)
+}
+
+// astar2InnerIf emits the data-dependent if over v (r7): pred = v has an
+// odd popcount-ish mix — effectively random.
+func astar2Pred(b *prog.Builder) {
+	b.I(isa.SHRI, 8, 7, 7)
+	b.R(isa.XOR, 8, 8, 7)
+	b.I(isa.ANDI, 8, 8, 1)
+}
+
+func buildAstar2(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	b := prog.NewBuilder()
+	astar2Prolog(b, n)
+
+	// Strip-mine chunk: the BQ variants push up to 10 predicates per
+	// outer iteration, so 12 outer iterations bound the BQ at 120 < 128.
+	chunk := int64(12)
+	if v == CFDTQ {
+		chunk = 64
+	}
+
+	switch v {
+	case Base:
+		b.Label("outer")
+		b.Load(isa.LD, 5, 1, 0) // t = bound[i]
+		b.Li(6, 0)
+		b.Label("inner")
+		b.Note("j < bound[i] (loop-branch)", prog.SeparableLoop)
+		b.Branch(isa.BGE, 6, 5, "innerdone")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2Pred(b)
+		b.Note("mix(v) odd", prog.SeparableTotal)
+		b.Branch(isa.BEQ, 8, 0, "noif")
+		astar2CD(b)
+		b.Label("noif")
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Jump("inner")
+		b.Label("innerdone")
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 4, 4, -1)
+		b.Branch(isa.BNE, 4, 0, "outer")
+		astar2Epilog(b)
+
+	case CFDTQ:
+		b.Label("chunkL")
+		b.Li(16, chunk)
+		b.R(isa.SLT, 17, 4, 16)
+		b.R(isa.CMOVNZ, 16, 4, 17)
+		// Loop 1: trip-count generation.
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Label("gen")
+		b.Load(isa.LD, 5, 1, 0)
+		b.PushTQ(5)
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		// Loop 2: TCR-driven inner looping.
+		b.Mov(18, 16)
+		b.Label("outer")
+		b.PopTQ()
+		b.Li(6, 0)
+		b.Jump("test")
+		b.Label("body")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2Pred(b)
+		b.Note("mix(v) odd", prog.SeparableTotal)
+		b.Branch(isa.BEQ, 8, 0, "noif")
+		astar2CD(b)
+		b.Label("noif")
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Label("test")
+		b.Note("j < bound[i] (TCR)", prog.SeparableLoop)
+		b.BranchTCR("body")
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "outer")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunkL")
+		astar2Epilog(b)
+
+	case CFDBQ:
+		b.Label("chunkL")
+		b.Li(16, chunk)
+		b.R(isa.SLT, 17, 4, 16)
+		b.R(isa.CMOVNZ, 16, 4, 17)
+		// Loop 1: walk the chunk's inner iterations, pushing the inner
+		// if's predicates. The hard loop-branch remains in both loops:
+		// CFD(BQ) alone only removes the if's mispredictions (Fig 28).
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Mov(21, 2)
+		b.Label("gen")
+		b.Load(isa.LD, 5, 1, 0)
+		b.Li(6, 0)
+		b.Label("gentest")
+		b.Note("j < bound[i] (loop-branch)", prog.SeparableLoop)
+		b.Branch(isa.BGE, 6, 5, "gendone")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2Pred(b)
+		b.PushBQ(8)
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Jump("gentest")
+		b.Label("gendone")
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		// Loop 2: consume.
+		b.Mov(18, 16)
+		b.Mov(1, 19)
+		b.Mov(2, 21)
+		b.Label("outer")
+		b.Load(isa.LD, 5, 1, 0)
+		b.Li(6, 0)
+		b.Jump("test")
+		b.Label("body")
+		b.Note("mix(v) odd (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("doif")
+		b.Jump("noif")
+		b.Label("doif")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2CD(b)
+		b.Label("noif")
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Label("test")
+		b.Note("j < bound[i] (loop-branch 2)", prog.SeparableLoop)
+		b.Branch(isa.BLT, 6, 5, "body")
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "outer")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunkL")
+		astar2Epilog(b)
+
+	case CFDBQTQ:
+		// Three loops; the trip count is pushed twice so both the
+		// predicate-generation loop and the consume loop run TCR-driven.
+		// No hard branch survives anywhere — which is why BQ+TQ gains
+		// exceed the sum of the individual gains (Fig 28).
+		b.Label("chunkL")
+		b.Li(16, chunk)
+		b.R(isa.SLT, 17, 4, 16)
+		b.R(isa.CMOVNZ, 16, 4, 17)
+		// Loop 1: trip counts for the predicate-generation loop.
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Mov(21, 2)
+		b.Label("gen")
+		b.Load(isa.LD, 5, 1, 0)
+		b.PushTQ(5)
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		// Loop 2: TCR-driven predicate generation.
+		b.Mov(18, 16)
+		b.Label("mid")
+		b.PopTQ()
+		b.Li(6, 0)
+		b.Jump("midtest")
+		b.Label("midbody")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2Pred(b)
+		b.PushBQ(8)
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Label("midtest")
+		b.Note("j < bound[i] (TCR gen)", prog.SeparableLoop)
+		b.BranchTCR("midbody")
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "mid")
+		// Re-push the trip counts for the consume loop (the reloads hit
+		// L1: the chunk's bound[] lines are resident).
+		b.Mov(18, 16)
+		b.Mov(22, 19)
+		b.Label("regen")
+		b.Load(isa.LD, 5, 22, 0)
+		b.PushTQ(5)
+		b.I(isa.ADDI, 22, 22, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "regen")
+		// Loop 3: TCR-driven consumption.
+		b.Mov(18, 16)
+		b.Mov(2, 21)
+		b.Label("outer")
+		b.PopTQ()
+		b.Li(6, 0)
+		b.Jump("test")
+		b.Label("body")
+		b.Note("mix(v) odd (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("doif")
+		b.Jump("noif")
+		b.Label("doif")
+		b.I(isa.SHLI, 9, 6, 3)
+		b.R(isa.ADD, 9, 9, 2)
+		b.Load(isa.LD, 7, 9, 0)
+		astar2CD(b)
+		b.Label("noif")
+		b.I(isa.ADDI, 6, 6, 1)
+		b.Label("test")
+		b.Note("j < bound[i] (TCR)", prog.SeparableLoop)
+		b.BranchTCR("body")
+		b.I(isa.ADDI, 2, 2, 8*astar2MaxTrip)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "outer")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunkL")
+		astar2Epilog(b)
+
+	default:
+		return nil, nil, badVariant("astar2like", v)
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, astar2Mem(n), nil
+}

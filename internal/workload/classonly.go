@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// Classification-study workloads (paper §II): these exist so the Fig 6
+// control-flow breakdown has all four classes represented. They only build
+// the Base variant.
+//
+//   - hammocklike: a hard branch guarding a tiny control-dependent region —
+//     the if-conversion class.
+//   - inseparablelike: the branch's predicate depends on state computed by
+//     its own control-dependent instructions (a serial loop-carried
+//     dependence) — CFD does not apply.
+//   - streamlike: loop-only control flow, easy to predict — the excluded /
+//     not-analyzed slice.
+
+func init() {
+	register(&Spec{
+		Name:     "hammocklike",
+		Analog:   "hammock-dominated kernels (e.g. hmmer-style max updates)",
+		Function: "clamp/abs analog",
+		TimePct:  50,
+		Class:    prog.Hammock,
+		Variants: []Variant{Base},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildHammock,
+	})
+	register(&Spec{
+		Name:     "inseparablelike",
+		Analog:   "serial adaptive kernels (inseparable class)",
+		Function: "state-machine analog",
+		TimePct:  60,
+		Class:    prog.Inseparable,
+		Variants: []Variant{Base},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildInseparable,
+	})
+	register(&Spec{
+		Name:     "streamlike",
+		Analog:   "predictable streaming kernels (excluded slice)",
+		Function: "checksum analog",
+		TimePct:  90,
+		Class:    prog.EasyToPredict,
+		Variants: []Variant{Base},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildStreamEasy,
+	})
+	register(&Spec{
+		Name:     "h264like",
+		Analog:   "well-predicted media kernels (SPEC2006, excluded slice)",
+		Function: "mode-decision analog",
+		TimePct:  70,
+		Class:    prog.EasyToPredict,
+		Variants: []Variant{Base},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildH264,
+	})
+}
+
+const (
+	classArrBase = 0x1600_0000
+	classResult  = 0x004a_0000
+	classArrN    = 32 << 10
+)
+
+func classMem(name string, mod int64) *mem.Memory {
+	rng := rngFor(name)
+	m := mem.New()
+	arr := make([]uint64, classArrN)
+	for i := range arr {
+		arr[i] = uint64(rng.Int63n(mod))
+	}
+	m.WriteUint64s(classArrBase, arr)
+	return m
+}
+
+func classProlog(b *prog.Builder, n int64) (passN int64) {
+	passN = n
+	if passN > classArrN {
+		passN = classArrN
+	}
+	passes := (n + passN - 1) / passN
+	b.Li(12, 0)
+	b.Li(20, passes)
+	b.Label("pass")
+	b.Li(1, classArrBase)
+	b.Li(4, passN)
+	return passN
+}
+
+func classEpilog(b *prog.Builder) {
+	b.I(isa.ADDI, 20, 20, -1)
+	b.Branch(isa.BNE, 20, 0, "pass")
+	b.Li(30, classResult)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Halt()
+}
+
+func buildHammock(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	if v != Base {
+		return nil, nil, badVariant("hammocklike", v)
+	}
+	b := prog.NewBuilder()
+	classProlog(b, n)
+	b.Li(3, 500)
+	b.Label("loop")
+	b.Load(isa.LD, 7, 1, 0)
+	b.Note("x < k (hammock)", prog.Hammock)
+	b.Branch(isa.BGE, 7, 3, "skip")
+	// Tiny CD region: an if-conversion candidate.
+	b.I(isa.ADDI, 12, 12, 1)
+	b.Label("skip")
+	b.R(isa.ADD, 12, 12, 7)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 4, 4, -1)
+	b.Branch(isa.BNE, 4, 0, "loop")
+	classEpilog(b)
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, classMem("hammocklike", 1000), nil
+}
+
+func buildInseparable(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	if v != Base {
+		return nil, nil, badVariant("inseparablelike", v)
+	}
+	b := prog.NewBuilder()
+	b.Li(15, 3)
+	classProlog(b, n)
+	b.Label("loop")
+	b.Load(isa.LD, 7, 1, 0)
+	b.I(isa.ANDI, 8, 12, 1) // predicate reads the accumulator...
+	b.Note("acc odd (inseparable)", prog.Inseparable)
+	b.Branch(isa.BEQ, 8, 0, "even")
+	// ...which this control-dependent region rewrites: a loop-carried
+	// dependence through many CD instructions.
+	b.R(isa.MUL, 12, 12, 15)
+	b.R(isa.ADD, 12, 12, 7)
+	b.I(isa.ADDI, 12, 12, 1)
+	b.R(isa.XOR, 12, 12, 7)
+	b.Jump("next")
+	b.Label("even")
+	b.I(isa.SHRI, 12, 12, 1)
+	b.R(isa.ADD, 12, 12, 7)
+	b.Label("next")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 4, 4, -1)
+	b.Branch(isa.BNE, 4, 0, "loop")
+	classEpilog(b)
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, classMem("inseparablelike", 1<<20), nil
+}
+
+// buildH264 models the paper's *excluded* slice (Fig 6b): branch-dense code
+// whose branches are almost always predicted — a per-branch misprediction
+// rate below the paper's 2% exclusion threshold — yet which still
+// contributes visible MPKI weight to the four-suite totals.
+func buildH264(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	if v != Base {
+		return nil, nil, badVariant("h264like", v)
+	}
+	// Data: mostly-monotone values so x < threshold is ~99% one way,
+	// with rare random spikes providing the residual mispredictions.
+	rng := rngFor("h264like")
+	m := mem.New()
+	arr := make([]uint64, classArrN)
+	for i := range arr {
+		if rng.Intn(100) == 0 {
+			arr[i] = uint64(900 + rng.Intn(100)) // rare spike
+		} else {
+			arr[i] = uint64(rng.Intn(400)) // usually below threshold
+		}
+	}
+	m.WriteUint64s(classArrBase+0x0080_0000, arr)
+
+	b := prog.NewBuilder()
+	b.Li(3, 500)
+	passN := n
+	if passN > classArrN {
+		passN = classArrN
+	}
+	passes := (n + passN - 1) / passN
+	b.Li(12, 0)
+	b.Li(20, passes)
+	b.Label("pass")
+	b.Li(1, classArrBase+0x0080_0000)
+	b.Li(4, passN)
+	b.Label("loop")
+	b.Load(isa.LD, 7, 1, 0)
+	// A branch-dense body: three biased branches per element.
+	b.Note("x < k (biased)", prog.EasyToPredict)
+	b.Branch(isa.BGE, 7, 3, "rare")
+	b.R(isa.ADD, 12, 12, 7)
+	b.Jump("next")
+	b.Label("rare")
+	b.I(isa.SHLI, 8, 7, 1)
+	b.R(isa.ADD, 12, 12, 8)
+	b.Label("next")
+	b.I(isa.ANDI, 9, 7, 1023)
+	b.Note("x & 1023 == 7 (biased)", prog.EasyToPredict)
+	b.Branch(isa.BEQ, 9, 0, "zero")
+	b.I(isa.ADDI, 12, 12, 1)
+	b.Label("zero")
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 4, 4, -1)
+	b.Note("i < n (loop)", prog.EasyToPredict)
+	b.Branch(isa.BNE, 4, 0, "loop")
+	b.I(isa.ADDI, 20, 20, -1)
+	b.Branch(isa.BNE, 20, 0, "pass")
+	b.Li(30, classResult+0x40)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
+}
+
+func buildStreamEasy(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	if v != Base {
+		return nil, nil, badVariant("streamlike", v)
+	}
+	b := prog.NewBuilder()
+	classProlog(b, n)
+	b.Label("loop")
+	b.Load(isa.LD, 7, 1, 0)
+	b.R(isa.ADD, 12, 12, 7)
+	b.R(isa.XOR, 12, 12, 4)
+	b.I(isa.ADDI, 1, 1, 8)
+	b.I(isa.ADDI, 4, 4, -1)
+	b.Note("i < n (easy)", prog.EasyToPredict)
+	b.Branch(isa.BNE, 4, 0, "loop")
+	classEpilog(b)
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, classMem("streamlike", 1000), nil
+}

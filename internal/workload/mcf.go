@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// mcflike mirrors mcf's arc-scanning loops (primal_bea_mpp analog): the
+// loop strides over an array of 64-byte arc records far larger than the
+// LLC, branching on a record field — so nearly every mispredicted branch is
+// fed by main memory. This is the class of workload for which the paper
+// shows CFD acting as the catalyst for large-window latency tolerance
+// (Figs 2b, 21b, 23).
+//
+// Arc record layout (8 fields of 8 bytes): [cost, flow, ident, a, b, c, d, e].
+//
+// Register conventions follow soplexlike, with r1 the arc cursor.
+const (
+	mcfArcBase  = 0x4000_0000
+	mcfOutBase  = 0x6000_0000
+	mcfResult   = 0x0048_0000
+	mcfArcN     = 64 << 10 // 64K arcs × 64B = 4MB: exceeds the 2MB L3
+	mcfArcBytes = 64
+)
+
+func init() {
+	register(&Spec{
+		Name:     "mcflike",
+		Analog:   "mcf (SPEC2006)",
+		Function: "primal_bea_mpp analog",
+		TimePct:  55,
+		Class:    prog.SeparableTotal,
+		Variants: []Variant{Base, CFD, DFD, CFDDFD},
+		DefaultN: 120_000,
+		TestN:    3_000,
+		Build:    buildMcf,
+	})
+}
+
+func mcfMem() *mem.Memory {
+	rng := rngFor("mcflike")
+	m := mem.New()
+	arcs := make([]uint64, mcfArcN*8)
+	for i := 0; i < mcfArcN; i++ {
+		arcs[i*8+0] = uint64(rng.Int63n(1000)) // cost: branch feeder, ~50%
+		arcs[i*8+1] = uint64(rng.Int63n(100))  // flow
+		arcs[i*8+2] = uint64(rng.Intn(3))      // ident
+	}
+	m.WriteUint64s(mcfArcBase, arcs)
+	return m
+}
+
+// mcfCD: the CD region reads more arc fields and updates the arc — work
+// the wrong path would waste on a misprediction.
+func mcfCD(b *prog.Builder) {
+	b.Load(isa.LD, 9, 21, 8)   // flow
+	b.Load(isa.LD, 10, 21, 16) // ident
+	b.R(isa.ADD, 11, 9, 10)
+	b.R(isa.MUL, 11, 11, 15)
+	b.Store(isa.SD, 11, 21, 24) // arc->a = ...
+	b.R(isa.ADD, 12, 12, 11)
+	b.I(isa.ADDI, 13, 13, 1)
+	b.R(isa.XOR, 25, 12, 13)
+	b.I(isa.SHRI, 25, 25, 3)
+	b.R(isa.ADD, 12, 12, 25)
+}
+
+func buildMcf(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	passN := n
+	if passN > mcfArcN {
+		passN = mcfArcN
+	}
+	passes := (n + passN - 1) / passN
+
+	b := prog.NewBuilder()
+	b.Li(3, 500) // threshold
+	b.Li(12, 0)
+	b.Li(13, 0)
+	b.Li(15, 3)
+	b.Li(20, passes)
+	b.Label("pass")
+	b.Li(1, mcfArcBase)
+	b.Li(4, passN)
+
+	emitBaseLoop := func(counter isa.Reg, loop, done string) {
+		b.Label(loop)
+		b.Load(isa.LD, 7, 1, 0) // cost
+		b.R(isa.SLT, 8, 7, 3)
+		b.Mov(21, 1)
+		b.Note("arc->cost < cutoff", prog.SeparableTotal)
+		b.Branch(isa.BEQ, 8, 0, "skip"+loop)
+		mcfCD(b)
+		b.Label("skip" + loop)
+		b.I(isa.ADDI, 1, 1, mcfArcBytes)
+		b.I(isa.ADDI, counter, counter, -1)
+		b.Branch(isa.BNE, counter, 0, loop)
+		_ = done
+	}
+
+	switch v {
+	case Base:
+		emitBaseLoop(4, "loop", "")
+
+	case CFD, CFDDFD:
+		b.Label("chunk")
+		emitMinChunk(b)
+		if v == CFDDFD {
+			b.Mov(23, 1)
+			b.Mov(24, 16)
+			b.Label("pf")
+			b.Pref(23, 0)
+			b.I(isa.ADDI, 23, 23, mcfArcBytes)
+			b.I(isa.ADDI, 24, 24, -1)
+			b.Branch(isa.BNE, 24, 0, "pf")
+		}
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Label("gen")
+		b.Load(isa.LD, 7, 1, 0)
+		b.R(isa.SLT, 8, 7, 3)
+		b.PushBQ(8)
+		b.I(isa.ADDI, 1, 1, mcfArcBytes)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		b.Mov(18, 16)
+		b.Mov(21, 19)
+		b.Label("use")
+		b.Note("arc->cost < cutoff (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("work")
+		b.Jump("skip")
+		b.Label("work")
+		mcfCD(b)
+		b.Label("skip")
+		b.I(isa.ADDI, 21, 21, mcfArcBytes)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "use")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+
+	case DFD:
+		b.Label("chunk")
+		emitMinChunk(b)
+		b.Mov(23, 1)
+		b.Mov(24, 16)
+		b.Label("pf")
+		b.Pref(23, 0)
+		b.I(isa.ADDI, 23, 23, mcfArcBytes)
+		b.I(isa.ADDI, 24, 24, -1)
+		b.Branch(isa.BNE, 24, 0, "pf")
+		b.Mov(18, 16)
+		emitBaseLoop(18, "loop", "")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+
+	default:
+		return nil, nil, badVariant("mcflike", v)
+	}
+
+	b.I(isa.ADDI, 20, 20, -1)
+	b.Branch(isa.BNE, 20, 0, "pass")
+	b.Li(30, mcfResult)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Store(isa.SD, 13, 30, 8)
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, mcfMem(), nil
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// mummerlike mirrors the BioBench suffix-tree matching kernels (mummer):
+// a scan comparing a query stream against reference characters, with a
+// hard, data-dependent mismatch branch guarding a large bookkeeping region
+// (match-extension accounting, position output). The characters are
+// byte-sized — exercising the ISA's sub-word loads — and the branch is
+// totally separable: nothing in the CD region feeds the comparison.
+//
+// Register conventions follow soplexlike; r7/r9 hold the two characters.
+const (
+	mummerRefBase = 0x1700_0000
+	mummerQryBase = 0x1800_0000
+	mummerOutBase = 0x1900_0000
+	mummerResult  = 0x004b_0000
+	mummerArrN    = 48 << 10 // 48KB of byte characters: L2-resident
+)
+
+func init() {
+	register(&Spec{
+		Name:     "mummerlike",
+		Analog:   "mummer (BioBench)",
+		Function: "match-extension analog",
+		TimePct:  40,
+		Class:    prog.SeparableTotal,
+		Variants: []Variant{Base, CFD},
+		DefaultN: 150_000,
+		TestN:    3_000,
+		Build:    buildMummer,
+	})
+}
+
+func mummerMem() *mem.Memory {
+	rng := rngFor("mummerlike")
+	m := mem.New()
+	ref := make([]byte, mummerArrN)
+	qry := make([]byte, mummerArrN)
+	bases := []byte{'A', 'C', 'G', 'T'}
+	for i := range ref {
+		ref[i] = bases[rng.Intn(4)]
+		qry[i] = bases[rng.Intn(4)] // 25% match rate, unpredictable
+	}
+	m.StoreBytes(mummerRefBase, ref)
+	m.StoreBytes(mummerQryBase, qry)
+	return m
+}
+
+// mummerCD: the match-bookkeeping region — extension length update, score
+// mix, and an output append.
+func mummerCD(b *prog.Builder) {
+	b.I(isa.ADDI, 10, 10, 1) // extension length
+	b.R(isa.ADD, 12, 12, 7)
+	b.R(isa.MUL, 11, 10, 15)
+	b.R(isa.XOR, 11, 11, 12)
+	b.I(isa.SHLI, 25, 13, 3)
+	b.R(isa.ADD, 25, 25, 14)
+	b.Store(isa.SD, 11, 25, 0) // out[cnt] = score
+	b.I(isa.ADDI, 13, 13, 1)
+	b.I(isa.SHRI, 11, 11, 4)
+	b.R(isa.ADD, 12, 12, 11)
+}
+
+func buildMummer(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	passN := n
+	if passN > mummerArrN {
+		passN = mummerArrN
+	}
+	passes := (n + passN - 1) / passN
+
+	b := prog.NewBuilder()
+	b.Li(10, 0) // extension length
+	b.Li(12, 0) // score
+	b.Li(13, 0) // out count
+	b.Li(14, mummerOutBase)
+	b.Li(15, 3)
+	b.Li(20, passes)
+	b.Label("pass")
+	b.Li(1, mummerRefBase)
+	b.Li(2, mummerQryBase)
+	b.Li(4, passN)
+
+	switch v {
+	case Base:
+		b.Label("loop")
+		b.Load(isa.LBU, 7, 1, 0) // ref char
+		b.Load(isa.LBU, 9, 2, 0) // query char
+		b.R(isa.SEQ, 8, 7, 9)
+		b.Note("ref[i] == qry[i]", prog.SeparableTotal)
+		b.Branch(isa.BEQ, 8, 0, "skip")
+		mummerCD(b)
+		b.Label("skip")
+		b.I(isa.ADDI, 1, 1, 1)
+		b.I(isa.ADDI, 2, 2, 1)
+		b.I(isa.ADDI, 4, 4, -1)
+		b.Branch(isa.BNE, 4, 0, "loop")
+
+	case CFD:
+		b.Label("chunk")
+		emitMinChunk(b)
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Mov(21, 2)
+		b.Label("gen")
+		b.Load(isa.LBU, 7, 1, 0)
+		b.Load(isa.LBU, 9, 2, 0)
+		b.R(isa.SEQ, 8, 7, 9)
+		b.PushBQ(8)
+		b.I(isa.ADDI, 1, 1, 1)
+		b.I(isa.ADDI, 2, 2, 1)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		b.Mov(18, 16)
+		b.Mov(22, 19)
+		b.Label("use")
+		b.Note("ref[i] == qry[i] (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("work")
+		b.Jump("skip")
+		b.Label("work")
+		b.Load(isa.LBU, 7, 22, 0) // reload the matched character
+		mummerCD(b)
+		b.Label("skip")
+		b.I(isa.ADDI, 22, 22, 1)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "use")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+
+	default:
+		return nil, nil, badVariant("mummerlike", v)
+	}
+
+	b.I(isa.ADDI, 20, 20, -1)
+	b.Branch(isa.BNE, 20, 0, "pass")
+	b.Li(30, mummerResult)
+	b.Store(isa.SD, 12, 30, 0)
+	b.Store(isa.SD, 13, 30, 8)
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, mummerMem(), nil
+}

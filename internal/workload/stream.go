@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// streamParams instantiates the family of "streamed predicate + large
+// control-dependent region" kernels that several of the paper's CFD-class
+// applications reduce to (bzip2's sort main loop, eclat's support counting,
+// jpeg's quantization, gromacs/namd's cutoff tests). The members differ in
+// working-set size (which memory level feeds the branch), taken rate, and
+// control-dependent region size (which sets the CFD overhead).
+type streamParams struct {
+	name     string
+	analog   string
+	function string
+	timePct  int
+	arrBase  uint64
+	outBase  uint64
+	resBase  uint64
+	arrN     int64 // working set in elements; passes repeat over it
+	mod      int64 // element value range
+	takenPct int64 // percentage of elements below the threshold
+	cdExtra  int   // filler ALU ops in the CD region beyond the fixed core
+	variants []Variant
+	defaultN int64
+	testN    int64
+}
+
+func registerStream(p streamParams) {
+	register(&Spec{
+		Name:     p.name,
+		Analog:   p.analog,
+		Function: p.function,
+		TimePct:  p.timePct,
+		Class:    prog.SeparableTotal,
+		Variants: p.variants,
+		DefaultN: p.defaultN,
+		TestN:    p.testN,
+		Build: func(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+			return buildStream(p, v, n)
+		},
+	})
+}
+
+func init() {
+	registerStream(streamParams{
+		name: "bzip2like", analog: "bzip2 (SPEC2006)",
+		function: "mainSort compare analog", timePct: 37,
+		arrBase: 0x0900_0000, outBase: 0x0a00_0000, resBase: 0x0043_0000,
+		arrN: 8 << 10, mod: 1000, takenPct: 50, cdExtra: 4,
+		variants: []Variant{Base, CFD},
+		defaultN: 150_000, testN: 3_000,
+	})
+	registerStream(streamParams{
+		name: "eclatlike", analog: "eclat (NU-MineBench)",
+		function: "support-count analog", timePct: 45,
+		arrBase: 0x0b00_0000, outBase: 0x0c00_0000, resBase: 0x0044_0000,
+		arrN: 128 << 10, mod: 1000, takenPct: 40, cdExtra: 8,
+		variants: []Variant{Base, CFD, CFDPlus},
+		defaultN: 150_000, testN: 3_000,
+	})
+	registerStream(streamParams{
+		name: "jpeglike", analog: "jpeg-compr (cBench)",
+		function: "quantization analog", timePct: 40,
+		arrBase: 0x0d00_0000, outBase: 0x0e00_0000, resBase: 0x0045_0000,
+		arrN: 1 << 10, mod: 1000, takenPct: 50, cdExtra: 6,
+		variants: []Variant{Base, CFD},
+		defaultN: 150_000, testN: 3_000,
+	})
+	registerStream(streamParams{
+		name: "gromacslike", analog: "gromacs (SPEC2006)",
+		function: "inner-loop cutoff analog", timePct: 25,
+		arrBase: 0x0f00_0000, outBase: 0x1000_0000, resBase: 0x0046_0000,
+		arrN: 32 << 10, mod: 1000, takenPct: 30, cdExtra: 14,
+		variants: []Variant{Base, CFD},
+		defaultN: 150_000, testN: 3_000,
+	})
+	registerStream(streamParams{
+		name: "tiffmedianlike", analog: "tiff-median (cBench)",
+		function: "median-filter threshold analog", timePct: 30,
+		arrBase: 0x1a00_0000, outBase: 0x1b00_0000, resBase: 0x004c_0000,
+		arrN: 4 << 10, mod: 1000, takenPct: 45, cdExtra: 10,
+		variants: []Variant{Base, CFD},
+		defaultN: 150_000, testN: 3_000,
+	})
+	registerStream(streamParams{
+		name: "namdlike", analog: "namd (SPEC2006)",
+		function: "pairlist cutoff analog", timePct: 35,
+		arrBase: 0x1100_0000, outBase: 0x1200_0000, resBase: 0x0047_0000,
+		arrN: 16 << 10, mod: 1000, takenPct: 50, cdExtra: 18,
+		variants: []Variant{Base, CFD},
+		defaultN: 150_000, testN: 3_000,
+	})
+}
+
+func streamMem(p streamParams) *mem.Memory {
+	rng := rngFor(p.name)
+	m := mem.New()
+	arr := make([]uint64, p.arrN)
+	for i := range arr {
+		arr[i] = uint64(rng.Int63n(p.mod))
+	}
+	m.WriteUint64s(p.arrBase, arr)
+	return m
+}
+
+// streamCD emits the CD region: x in r7; updates acc r12, stores out[i]
+// through r2, then cdExtra filler ops mixing acc.
+func streamCD(b *prog.Builder, cdExtra int) {
+	b.R(isa.MUL, 9, 7, 15)
+	b.I(isa.ADDI, 9, 9, 11)
+	b.Store(isa.SD, 9, 2, 0)
+	b.R(isa.ADD, 12, 12, 9)
+	for i := 0; i < cdExtra; i++ {
+		switch i % 3 {
+		case 0:
+			b.R(isa.XOR, 10, 12, 7)
+		case 1:
+			b.I(isa.SHRI, 11, 10, 2)
+		case 2:
+			b.R(isa.ADD, 12, 12, 11)
+		}
+	}
+}
+
+func buildStream(p streamParams, v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	passN := n
+	if passN > p.arrN {
+		passN = p.arrN
+	}
+	passes := (n + passN - 1) / passN
+	thresh := p.mod * p.takenPct / 100
+
+	b := prog.NewBuilder()
+	b.Li(3, thresh)
+	b.Li(12, 0)
+	b.Li(15, 3)
+	b.Li(20, passes)
+	b.Label("pass")
+	b.Li(1, int64(p.arrBase))
+	b.Li(2, int64(p.outBase))
+	b.Li(4, passN)
+
+	switch v {
+	case Base:
+		b.Label("loop")
+		b.Load(isa.LD, 7, 1, 0)
+		b.R(isa.SLT, 8, 7, 3) // x < thresh
+		b.Note(p.function, prog.SeparableTotal)
+		b.Branch(isa.BEQ, 8, 0, "skip")
+		streamCD(b, p.cdExtra)
+		b.Label("skip")
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 2, 2, 8)
+		b.I(isa.ADDI, 4, 4, -1)
+		b.Branch(isa.BNE, 4, 0, "loop")
+
+	case CFD, CFDPlus:
+		b.Label("chunk")
+		if v == CFDPlus {
+			emitMinChunkN(b, ChunkSize/2) // VQ entries pin physical registers
+		} else {
+			emitMinChunk(b)
+		}
+		b.Mov(18, 16)
+		b.Mov(19, 1)
+		b.Label("gen")
+		b.Load(isa.LD, 7, 1, 0)
+		b.R(isa.SLT, 8, 7, 3)
+		b.PushBQ(8)
+		if v == CFDPlus {
+			b.PushVQ(7)
+		}
+		b.I(isa.ADDI, 1, 1, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "gen")
+		b.Mov(18, 16)
+		b.Mov(21, 19)
+		b.Label("use")
+		if v == CFDPlus {
+			b.PopVQ(7)
+		}
+		b.Note(p.function+" (decoupled)", prog.SeparableTotal)
+		b.BranchBQ("work")
+		b.Jump("skip")
+		b.Label("work")
+		if v == CFD {
+			b.Load(isa.LD, 7, 21, 0)
+		}
+		streamCD(b, p.cdExtra)
+		b.Label("skip")
+		b.I(isa.ADDI, 21, 21, 8)
+		b.I(isa.ADDI, 2, 2, 8)
+		b.I(isa.ADDI, 18, 18, -1)
+		b.Branch(isa.BNE, 18, 0, "use")
+		b.R(isa.SUB, 4, 4, 16)
+		b.Branch(isa.BNE, 4, 0, "chunk")
+
+	default:
+		return nil, nil, badVariant(p.name, v)
+	}
+
+	b.I(isa.ADDI, 20, 20, -1)
+	b.Branch(isa.BNE, 20, 0, "pass")
+	b.Li(30, int64(p.resBase))
+	b.Store(isa.SD, 12, 30, 0)
+	b.Halt()
+
+	pr, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, streamMem(p), nil
+}

@@ -1,0 +1,149 @@
+// Package workload provides synthetic analogs of the paper's evaluated
+// benchmarks. Each workload reproduces the control-flow idiom of one
+// application the paper targets — the separable branch of soplex (Fig 8),
+// astar's partially separable branch with nested conditions and an early
+// exit (Fig 22), astar's separable loop-branch (Fig 14), and so on — with a
+// deterministic data generator sized to exercise the same memory levels.
+//
+// Every workload builds multiple program variants (baseline, CFD, CFD+,
+// DFD, TQ combinations) that perform identical architectural work: the
+// final memory of every variant must match the baseline's, which the tests
+// enforce through the functional emulator.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// Variant names a program transformation of a workload.
+type Variant string
+
+// Variants.
+const (
+	Base    Variant = "base"    // unmodified loop
+	CFD     Variant = "cfd"     // control-flow decoupling (BQ)
+	CFDPlus Variant = "cfd+"    // CFD with the value queue (§IV-B)
+	DFD     Variant = "dfd"     // data-flow decoupling: prefetch loop (§V)
+	CFDDFD  Variant = "cfd+dfd" // both applied simultaneously (Fig 26)
+	CFDTQ   Variant = "cfdtq"   // trip-count queue on the loop-branch (§IV-C)
+	CFDBQ   Variant = "cfdbq"   // BQ on the inner branch only (Fig 28)
+	CFDBQTQ Variant = "cfdbqtq" // BQ and TQ together (Fig 28)
+)
+
+// ChunkSize is the strip-mining chunk: CFD-class loops iterate thousands of
+// times, so the loop is strip-mined into chunks no larger than the BQ size
+// (§III-B).
+const ChunkSize = 128
+
+// Spec describes one workload.
+type Spec struct {
+	Name     string
+	Analog   string // the paper benchmark this mirrors
+	Function string // "function" name for the Table V/VI analog
+	// TimePct is the fraction of whole-benchmark time spent in the
+	// region (gprof column of Tables V/VI), used for Amdahl projections.
+	TimePct int
+	// Class is the dominant hard-branch class.
+	Class prog.BranchClass
+	// Variants lists the transformations this workload implements.
+	Variants []Variant
+	// DefaultN is the input size (elements) for full experiment runs;
+	// TestN is a reduced size for unit tests.
+	DefaultN int64
+	TestN    int64
+	// Build constructs the program and initial memory for a variant.
+	Build func(v Variant, n int64) (*prog.Program, *mem.Memory, error)
+}
+
+// HasVariant reports whether v is implemented.
+func (s *Spec) HasVariant(v Variant) bool {
+	for _, x := range s.Variants {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MustBuild is Build that panics on error (workloads are statically
+// known-good).
+func (s *Spec) MustBuild(v Variant, n int64) (*prog.Program, *mem.Memory) {
+	p, m, err := s.Build(v, n)
+	if err != nil {
+		panic(fmt.Sprintf("workload %s/%s: %v", s.Name, v, err))
+	}
+	return p, m
+}
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) *Spec {
+	if _, dup := registry[s.Name]; dup {
+		panic("workload: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// ByName returns a registered workload.
+func ByName(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// All returns every registered workload, sorted by name.
+func All() []*Spec {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// CFDClass returns the workloads CFD applies to (the Fig 18/19 set).
+func CFDClass() []*Spec {
+	var out []*Spec
+	for _, s := range All() {
+		if s.Class.Separable() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// badVariant builds the standard error for an unimplemented variant.
+func badVariant(name string, v Variant) error {
+	return fmt.Errorf("workload %s: variant %q not implemented", name, v)
+}
+
+// rngFor returns the deterministic data generator for a workload.
+func rngFor(name string) *rand.Rand {
+	var seed int64
+	for _, b := range name {
+		seed = seed*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// SeparablePCs extracts the PCs of branches annotated separable — the set
+// "perfected" in the Base+PerfectCFD configuration of Fig 19.
+func SeparablePCs(p *prog.Program) []uint64 {
+	var pcs []uint64
+	for pc, note := range p.Notes {
+		if note.Class.Separable() {
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}

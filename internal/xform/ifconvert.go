@@ -1,0 +1,90 @@
+package xform
+
+import (
+	"fmt"
+
+	"cfd/internal/isa"
+	"cfd/internal/prog"
+)
+
+// IfConvert emits the if-conversion transformation — the paper's answer to
+// the *hammock* class (§II-B): the control-dependent region executes
+// unconditionally and its effects are committed with conditional moves, so
+// the hard branch disappears entirely.
+//
+//   - Registers the CD region writes are snapshotted first and restored
+//     with CMOVZ when the predicate is false.
+//   - Guarded stores become read-modify-write selects: load the old value,
+//     CMOVNZ the new one over it under the predicate, store
+//     unconditionally. (gcc refused to if-convert the paper's hammocks
+//     *because* they guard stores — §II-B; a manual or smarter pass can,
+//     given the caller's assertion that the address is always safe.)
+//
+// The transformation needs one scratch register per CD-written register
+// plus one for the store data select, beyond the two the strip-miner uses.
+func (k *Kernel) IfConvert() (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	// Registers to snapshot: everything CD writes (they must keep their
+	// old values when the predicate is false).
+	var saved []isa.Reg
+	w := blockWrites(k.CD)
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if w.has(r) {
+			saved = append(saved, r)
+		}
+	}
+	needScratch := len(saved) + 1
+	if len(k.Scratch) < needScratch {
+		return nil, fmt.Errorf("xform %s: if-conversion needs %d scratch registers, have %d",
+			k.Name, needScratch, len(k.Scratch))
+	}
+	shadows := k.Scratch[:len(saved)]
+	sel := k.Scratch[len(saved)]
+
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("loop")
+	emitBlock(b, k.Slice)
+	// Snapshot CD-written registers.
+	for i, r := range saved {
+		b.Mov(shadows[i], r)
+	}
+	// CD executes unconditionally; stores become selects.
+	for _, in := range k.CD {
+		if in.Op.IsStore() {
+			loadOp := loadFor(in.Op)
+			b.Load(loadOp, sel, in.Rs1, in.Imm)
+			b.R(isa.CMOVNZ, sel, in.Rs2, k.Pred)
+			b.Store(in.Op, sel, in.Rs1, in.Imm)
+			continue
+		}
+		b.Raw(in)
+	}
+	// Commit: restore old values where the predicate was false.
+	for i, r := range saved {
+		b.R(isa.CMOVZ, r, shadows[i], k.Pred)
+	}
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, k.Counter, k.Counter, -1)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+// loadFor returns the load matching a store's width (zero-extending; the
+// reloaded value is stored back verbatim).
+func loadFor(op isa.Op) isa.Op {
+	switch op {
+	case isa.SD:
+		return isa.LD
+	case isa.SW:
+		return isa.LWU
+	case isa.SH:
+		return isa.LHU
+	case isa.SB:
+		return isa.LBU
+	}
+	return isa.LD
+}

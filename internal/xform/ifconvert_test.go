@@ -1,0 +1,212 @@
+package xform
+
+import (
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/isa"
+	"cfd/internal/pipeline"
+	"cfd/internal/prog"
+)
+
+// sizedKernel builds a kernel with a parameterized CD size: an accumulator
+// update plus filler ALU ops, optionally with a guarded store (the case
+// gcc refuses to if-convert, §II-B — the select-store's read-modify-write
+// is a real cost our model exposes).
+func sizedKernel(n int64, cdFiller int, withStore bool) *Kernel {
+	cd := []isa.Inst{
+		{Op: isa.SHLI, Rd: 9, Rs1: 7, Imm: 1},
+		{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 9},
+	}
+	if withStore {
+		cd = append(cd, isa.Inst{Op: isa.SD, Rs1: 2, Rs2: 9, Imm: 0})
+	}
+	for i := 0; i < cdFiller; i++ {
+		switch i % 3 {
+		case 0:
+			cd = append(cd, isa.Inst{Op: isa.XOR, Rd: 10, Rs1: 12, Rs2: 7})
+		case 1:
+			cd = append(cd, isa.Inst{Op: isa.SHRI, Rd: 11, Rs1: 10, Imm: 2})
+		case 2:
+			cd = append(cd, isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 11})
+		}
+	}
+	return &Kernel{
+		Name: "sized",
+		Init: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 0x100000},
+			{Op: isa.ADDI, Rd: 2, Rs1: 0, Imm: 0x800000},
+			{Op: isa.ADDI, Rd: 3, Rs1: 0, Imm: 500},
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: n},
+			{Op: isa.ADDI, Rd: 12, Rs1: 0, Imm: 0},
+		},
+		Slice: []isa.Inst{
+			{Op: isa.LD, Rd: 7, Rs1: 1, Imm: 0},
+			{Op: isa.SLT, Rd: 8, Rs1: 3, Rs2: 7},
+		},
+		CD: cd,
+		Step: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8},
+			{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 8},
+		},
+		Pred:    8,
+		Counter: 4,
+		Scratch: []isa.Reg{20, 21, 22, 23, 24, 25, 26},
+		NoAlias: true,
+		Note:    "sized hammock",
+	}
+}
+
+func TestIfConvertMatchesBase(t *testing.T) {
+	for _, filler := range []int{0, 3, 9} {
+		k := sizedKernel(800, filler, true)
+		base, err := k.Base()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runProg(t, base, kernelMem(800, 5))
+		ic, err := k.IfConvert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runProg(t, ic, kernelMem(800, 5))
+		if !want.Equal(got) {
+			t.Errorf("filler=%d: if-converted output diverges from base", filler)
+		}
+		// No conditional branch on the predicate survives (only the
+		// loop back-edge remains).
+		branches := 0
+		for _, in := range ic.Insts {
+			if in.Op.IsCondBranch() {
+				branches++
+			}
+		}
+		if branches != 1 {
+			t.Errorf("filler=%d: %d conditional branches survive, want 1 (back-edge)", filler, branches)
+		}
+	}
+}
+
+// lcgKernel is a compute-only hammock: the predicate comes from a
+// linear-congruential register (unpredictable, no memory), so the
+// comparison isolates branch effects from memory-level parallelism.
+func lcgKernel(n int64, cdFiller int) *Kernel {
+	cd := []isa.Inst{
+		{Op: isa.SHRI, Rd: 9, Rs1: 7, Imm: 3},
+		{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 9},
+	}
+	for i := 0; i < cdFiller; i++ {
+		switch i % 3 {
+		case 0:
+			cd = append(cd, isa.Inst{Op: isa.XOR, Rd: 10, Rs1: 12, Rs2: 9})
+		case 1:
+			cd = append(cd, isa.Inst{Op: isa.SHRI, Rd: 11, Rs1: 10, Imm: 2})
+		case 2:
+			cd = append(cd, isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 11})
+		}
+	}
+	return &Kernel{
+		Name: "lcg",
+		Init: []isa.Inst{
+			{Op: isa.ADDI, Rd: 7, Rs1: 0, Imm: 88172645463325252},
+			{Op: isa.ADDI, Rd: 15, Rs1: 0, Imm: 6364136223846793},
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: n},
+			{Op: isa.ADDI, Rd: 12, Rs1: 0, Imm: 0},
+		},
+		Slice: []isa.Inst{
+			{Op: isa.MUL, Rd: 7, Rs1: 7, Rs2: 15},
+			{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 1442695040888963},
+			{Op: isa.SHRI, Rd: 8, Rs1: 7, Imm: 63}, // top bit: ~50/50
+		},
+		CD:      cd,
+		Step:    nil,
+		Pred:    8,
+		Counter: 4,
+		Scratch: []isa.Reg{20, 21, 22, 23, 24, 25, 26},
+		NoAlias: true,
+		Note:    "lcg hammock",
+	}
+}
+
+func TestIfConvertEliminatesMispredictions(t *testing.T) {
+	// A true hammock: tiny, store-free, compute-only CD region — the
+	// class where if-conversion is "generally profitable" (§II-B).
+	k := lcgKernel(6000, 0)
+	base, _ := k.Base()
+	ic, err := k.IfConvert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *prog.Program) *pipeline.Core {
+		core, err := pipeline.New(config.SandyBridge(), p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return core
+	}
+	b, c := run(base), run(ic)
+	if c.Stats.MPKI() > 1 {
+		t.Errorf("if-converted MPKI = %.2f, want ~0", c.Stats.MPKI())
+	}
+	if c.Stats.Cycles >= b.Stats.Cycles {
+		t.Errorf("if-conversion of a hammock must win: %d vs %d cycles", c.Stats.Cycles, b.Stats.Cycles)
+	}
+}
+
+func TestRecomputeRejectedForSliceInternalState(t *testing.T) {
+	// The LCG register feeds itself: plain-CFD recomputation would
+	// advance it twice. The pass must reject recompute mode when the CD
+	// consumes such a value, and accept the VQ mode.
+	k := lcgKernel(100, 0)
+	k.CD = append(k.CD, isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 7})
+	if _, err := k.CFD(false); err == nil {
+		t.Fatal("recompute mode accepted a self-feeding communicated value")
+	}
+	p, err := k.CFD(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := k.Base()
+	want := runProg(t, base, nil)
+	got := runProg(t, p, nil)
+	if !want.Equal(got) {
+		t.Error("VQ-mode CFD diverges on the self-feeding kernel")
+	}
+}
+
+func TestIfConvertStoreRMWCostDocumented(t *testing.T) {
+	// The guarded-store case: if-conversion must stay correct (covered by
+	// TestIfConvertMatchesBase); here we only require it not be
+	// catastrophically slower — the read-modify-write select costs real
+	// memory traffic, which is why gcc declined these (§II-B).
+	k := sizedKernel(3000, 0, true)
+	base, _ := k.Base()
+	ic, err := k.IfConvert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *prog.Program) uint64 {
+		core, err := pipeline.New(config.SandyBridge(), p, kernelMem(3000, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return core.Stats.Cycles
+	}
+	if b, c := run(base), run(ic); c > b*2 {
+		t.Errorf("if-converted store kernel %d cycles vs base %d: worse than 2x", c, b)
+	}
+}
+
+func TestIfConvertNeedsScratch(t *testing.T) {
+	k := sizedKernel(100, 9, true)
+	k.Scratch = k.Scratch[:3]
+	if _, err := k.IfConvert(); err == nil {
+		t.Error("insufficient scratch accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package xform
+
+import (
+	"fmt"
+
+	"cfd/internal/isa"
+	"cfd/internal/prog"
+)
+
+// NestedKernel is a two-level guarded loop — the "complex scenario" the
+// paper's multi-level decoupling extension targets (§I, and the structure
+// of the astar region #1 case study, Fig 22):
+//
+//	loop:
+//	    OuterSlice                 // computes OuterPred
+//	    if OuterPred == 0 goto skip
+//	    InnerSlice                 // only safe under OuterPred; computes InnerPred
+//	    if InnerPred == 0 goto skip
+//	    CD
+//	skip:
+//	    Step; Counter--; loop
+//
+// The transformation decouples into three loops sharing the BQ with two
+// predicate streams: loop 1 pushes the outer predicates; loop 2 — guarded
+// by the popped outer predicate — evaluates the inner slice and pushes the
+// combined predicate (0 on the unguarded path); loop 3 guards the CD with
+// the combined predicate. Chunks are half the BQ size because the two
+// streams coexist.
+type NestedKernel struct {
+	Name string
+
+	Init       []isa.Inst
+	OuterSlice []isa.Inst
+	InnerSlice []isa.Inst
+	CD         []isa.Inst
+	Step       []isa.Inst
+
+	OuterPred isa.Reg
+	InnerPred isa.Reg
+	Counter   isa.Reg
+	Scratch   []isa.Reg
+	NoAlias   bool
+	Note      string
+}
+
+// flat lowers the nested kernel to a Kernel-shaped view for the shared
+// structural validation (the combined slice is OuterSlice+InnerSlice with
+// the inner predicate as the overall one; conservative but sufficient).
+func (k *NestedKernel) flat() *Kernel {
+	return &Kernel{
+		Name:    k.Name,
+		Init:    k.Init,
+		Slice:   append(append([]isa.Inst{}, k.OuterSlice...), k.InnerSlice...),
+		CD:      k.CD,
+		Step:    k.Step,
+		Pred:    k.InnerPred,
+		Counter: k.Counter,
+		Scratch: k.Scratch,
+		NoAlias: k.NoAlias,
+	}
+}
+
+// Validate checks structure and separability at both levels.
+func (k *NestedKernel) Validate() error {
+	if err := k.flat().Validate(); err != nil {
+		return err
+	}
+	if !blockWrites(k.OuterSlice).has(k.OuterPred) {
+		return fmt.Errorf("xform %s: OuterSlice does not write the outer predicate %s", k.Name, k.OuterPred)
+	}
+	if cls, err := k.flat().Classify(); cls != prog.SeparableTotal {
+		return err
+	}
+	// Loop 2 re-executes the inner slice after loop 1 ran all outer
+	// slices; the inner slice therefore must not consume outer-slice
+	// temporaries beyond what loop 2 recomputes — require the inner
+	// slice's live-ins to come from inductions/Init only, or from the
+	// outer slice's recomputable (induction-derived) values.
+	needs := upwardExposed(k.InnerSlice) & blockWrites(k.OuterSlice)
+	if needs != 0 {
+		re := backwardSlice(k.OuterSlice, needs)
+		if upwardExposed(re).intersects(blockWrites(k.OuterSlice)) {
+			return fmt.Errorf("xform %s: inner slice depends on outer-slice state that cannot be recomputed", k.Name)
+		}
+	}
+	return nil
+}
+
+// Base emits the untransformed nested loop.
+func (k *NestedKernel) Base() (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("loop")
+	emitBlock(b, k.OuterSlice)
+	if k.Note != "" {
+		b.Note(k.Note+" (outer)", prog.SeparablePartial)
+	}
+	b.Branch(isa.BEQ, k.OuterPred, isa.Zero, "skip")
+	emitBlock(b, k.InnerSlice)
+	if k.Note != "" {
+		b.Note(k.Note+" (inner)", prog.SeparableTotal)
+	}
+	b.Branch(isa.BEQ, k.InnerPred, isa.Zero, "skip")
+	emitBlock(b, k.CD)
+	b.Label("skip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, k.Counter, k.Counter, -1)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+// CFD emits the three-loop multi-level decoupling.
+func (k *NestedKernel) CFD() (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	inductions := k.flat().inductionRegs()
+	chunkReg, tmpReg := k.Scratch[0], k.Scratch[1]
+	shadows := k.Scratch[2 : 2+len(inductions)]
+
+	// Values the inner slice needs from the outer slice (recomputed in
+	// loop 2) and values the CD needs from either slice (recomputed in
+	// loop 3; Validate vetted recomputability of the flat slice).
+	innerNeeds := upwardExposed(k.InnerSlice) & blockWrites(k.OuterSlice)
+	reInner := backwardSlice(k.OuterSlice, innerNeeds)
+	flatSlice := k.flat().Slice
+	cdNeeds := upwardExposed(k.CD) & blockWrites(flatSlice)
+	reCD := backwardSlice(flatSlice, cdNeeds)
+	if upwardExposed(reCD).intersects(blockWrites(flatSlice)) {
+		return nil, fmt.Errorf("xform %s: CD consumes slice-internal state that cannot be recomputed", k.Name)
+	}
+
+	const chunk = 64 // two BQ streams share the 128-entry BQ
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("chunk")
+	b.Li(chunkReg, chunk)
+	b.R(isa.SLT, tmpReg, k.Counter, chunkReg)
+	b.R(isa.CMOVNZ, chunkReg, k.Counter, tmpReg)
+	for i, r := range inductions {
+		b.Mov(shadows[i], r)
+	}
+	// Loop 1: outer predicates (stream 1).
+	b.Mov(tmpReg, chunkReg)
+	b.Label("gen")
+	emitBlock(b, k.OuterSlice)
+	b.PushBQ(k.OuterPred)
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "gen")
+	for i, r := range inductions {
+		b.Mov(r, shadows[i])
+	}
+	// Loop 2: guarded inner evaluation (stream 2).
+	b.Mov(tmpReg, chunkReg)
+	b.Label("mid")
+	if k.Note != "" {
+		b.Note(k.Note+" (outer, decoupled)", prog.SeparablePartial)
+	}
+	b.BranchBQ("midwork")
+	b.PushBQ(isa.Zero)
+	b.Jump("midskip")
+	b.Label("midwork")
+	emitBlock(b, reInner)
+	emitBlock(b, k.InnerSlice)
+	b.PushBQ(k.InnerPred)
+	b.Label("midskip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "mid")
+	for i, r := range inductions {
+		b.Mov(r, shadows[i])
+	}
+	// Loop 3: the control-dependent region under the combined predicate.
+	b.Mov(tmpReg, chunkReg)
+	b.Label("fin")
+	if k.Note != "" {
+		b.Note(k.Note+" (combined, decoupled)", prog.SeparableTotal)
+	}
+	b.BranchBQ("finwork")
+	b.Jump("finskip")
+	b.Label("finwork")
+	emitBlock(b, reCD)
+	emitBlock(b, k.CD)
+	b.Label("finskip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "fin")
+	b.R(isa.SUB, k.Counter, k.Counter, chunkReg)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "chunk")
+	b.Halt()
+	return b.Build()
+}

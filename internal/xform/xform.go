@@ -1,0 +1,441 @@
+// Package xform is the automatic CFD transformation pass — the analog of
+// the gcc pass the paper describes (§III-B): "CFD can be applied either
+// manually by the programmer or automatically by the compiler. We
+// implemented a gcc compiler pass for CFD ... and demonstrated comparable
+// performance to manual CFD for totally separable branches."
+//
+// The pass operates on a structured loop kernel: straight-line instruction
+// blocks for the branch slice (predicate computation), the
+// control-dependent region, and the induction step. It
+//
+//   - verifies total separability by register dataflow (the branch's
+//     backward slice must not read anything its control-dependent region
+//     writes, §II-B),
+//   - computes the values the control-dependent region consumes from the
+//     slice and either recomputes their backward slices in the second loop
+//     (plain CFD) or routes them through the value queue (CFD+, §IV-B),
+//   - strip-mines the loop into BQ-sized chunks (§III-B), snapshotting and
+//     restoring the induction registers around the decoupled loop pair,
+//   - and can instead emit the DFD prefetch transformation (§V): a first
+//     loop containing only the slice's loads (as prefetches) and their
+//     address slices.
+package xform
+
+import (
+	"fmt"
+
+	"cfd/internal/isa"
+	"cfd/internal/prog"
+)
+
+// Kernel is a structured single-level loop:
+//
+//	Init                     // once
+//	loop:
+//	    Slice                // computes Pred (may load; straight-line)
+//	    if Pred == 0 goto skip
+//	    CD                   // control-dependent region (straight-line)
+//	skip:
+//	    Step                 // induction updates (straight-line)
+//	    Counter--
+//	    if Counter != 0 goto loop
+//	halt
+type Kernel struct {
+	Name string
+
+	Init  []isa.Inst
+	Slice []isa.Inst
+	CD    []isa.Inst
+	Step  []isa.Inst
+
+	// Pred holds the predicate after Slice (non-zero = execute CD).
+	Pred isa.Reg
+	// Counter holds the trip count after Init.
+	Counter isa.Reg
+	// Scratch lists registers the pass may clobber: at least two for
+	// strip-mining plus one per induction register (Step write).
+	Scratch []isa.Reg
+	// NoAlias asserts that loads in Slice never alias stores in CD —
+	// memory disjointness is the caller's (programmer's/compiler's)
+	// obligation, exactly as in the paper's manual transformations.
+	NoAlias bool
+
+	// Note annotates the hard branch for the classification study.
+	Note string
+}
+
+// regSet is a small register set.
+type regSet uint32
+
+func (s regSet) has(r isa.Reg) bool       { return s&(1<<r) != 0 }
+func (s *regSet) add(r isa.Reg)           { *s |= 1 << r }
+func (s regSet) intersects(o regSet) bool { return s&o&^1 != 0 } // r0 never counts
+
+// reads returns the registers an instruction reads (conditional moves read
+// their destination).
+func reads(in isa.Inst) regSet {
+	var s regSet
+	if in.Op.ReadsRs1() {
+		s.add(in.Rs1)
+	}
+	if in.Op.ReadsRs2() {
+		s.add(in.Rs2)
+	}
+	if in.Op == isa.CMOVZ || in.Op == isa.CMOVNZ {
+		s.add(in.Rd)
+	}
+	return s
+}
+
+// writes returns the register an instruction writes, as a set.
+func writes(in isa.Inst) regSet {
+	var s regSet
+	if in.Op.WritesRd() && in.Rd != isa.Zero {
+		s.add(in.Rd)
+	}
+	return s
+}
+
+func blockReads(block []isa.Inst) regSet {
+	var s regSet
+	for _, in := range block {
+		s |= reads(in)
+	}
+	return s
+}
+
+func blockWrites(block []isa.Inst) regSet {
+	var s regSet
+	for _, in := range block {
+		s |= writes(in)
+	}
+	return s
+}
+
+// upwardExposed returns the registers read by a block before any write in
+// the block itself — its live-in set.
+func upwardExposed(block []isa.Inst) regSet {
+	var exposed, written regSet
+	for _, in := range block {
+		exposed |= reads(in) &^ written
+		written |= writes(in)
+	}
+	return exposed
+}
+
+func straightLine(block []isa.Inst) error {
+	for _, in := range block {
+		if in.Op.IsControl() || in.Op == isa.HALT {
+			return fmt.Errorf("control transfer %s inside a straight-line block", in)
+		}
+		if in.Op.IsCFD() {
+			return fmt.Errorf("CFD instruction %s inside a kernel block", in)
+		}
+	}
+	return nil
+}
+
+// Validate checks the kernel's structural requirements.
+func (k *Kernel) Validate() error {
+	for name, block := range map[string][]isa.Inst{
+		"Init": k.Init, "Slice": k.Slice, "CD": k.CD, "Step": k.Step,
+	} {
+		if err := straightLine(block); err != nil {
+			return fmt.Errorf("xform %s: %s: %w", k.Name, name, err)
+		}
+	}
+	if !blockWrites(k.Slice).has(k.Pred) {
+		return fmt.Errorf("xform %s: Slice does not write the predicate register %s", k.Name, k.Pred)
+	}
+	if len(k.Scratch) < 2+len(k.inductionRegs()) {
+		return fmt.Errorf("xform %s: need %d scratch registers, have %d",
+			k.Name, 2+len(k.inductionRegs()), len(k.Scratch))
+	}
+	used := blockReads(k.Init) | blockWrites(k.Init) |
+		blockReads(k.Slice) | blockWrites(k.Slice) | blockReads(k.CD) |
+		blockWrites(k.CD) | blockReads(k.Step) | blockWrites(k.Step)
+	used.add(k.Counter)
+	for _, r := range k.Scratch {
+		if used.has(r) {
+			return fmt.Errorf("xform %s: scratch register %s is used by the kernel", k.Name, r)
+		}
+	}
+	// The induction step must not consume values the slice computes:
+	// both decoupled loops re-execute it independently.
+	if blockWrites(k.Slice).intersects(upwardExposed(k.Step)) {
+		return fmt.Errorf("xform %s: Step reads values computed by Slice", k.Name)
+	}
+	return nil
+}
+
+// inductionRegs returns Step's written registers, in first-write order.
+func (k *Kernel) inductionRegs() []isa.Reg {
+	var seen regSet
+	var out []isa.Reg
+	for _, in := range k.Step {
+		for r := isa.Reg(1); r < isa.NumRegs; r++ {
+			if writes(in).has(r) && !seen.has(r) {
+				seen.add(r)
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// Classify performs the separability analysis of §II-B: the branch's
+// backward slice (Slice, plus the inductions feeding it) must not depend on
+// the control-dependent region.
+func (k *Kernel) Classify() (prog.BranchClass, error) {
+	cdWrites := blockWrites(k.CD)
+	sliceReads := blockReads(k.Slice)
+	stepReads := blockReads(k.Step)
+	switch {
+	case cdWrites.intersects(sliceReads):
+		return prog.Inseparable, fmt.Errorf("xform %s: CD writes registers the branch slice reads (loop-carried dependence)", k.Name)
+	case cdWrites.intersects(stepReads) || cdWrites.has(k.Counter):
+		return prog.Inseparable, fmt.Errorf("xform %s: CD writes the loop's induction state", k.Name)
+	case !k.NoAlias && k.hasLoads(k.Slice) && k.hasStores(k.CD):
+		return prog.Inseparable, fmt.Errorf("xform %s: possible memory aliasing between slice loads and CD stores (set NoAlias after checking)", k.Name)
+	}
+	return prog.SeparableTotal, nil
+}
+
+func (k *Kernel) hasLoads(block []isa.Inst) bool {
+	for _, in := range block {
+		if in.Op.IsLoad() && in.Op != isa.PREF {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) hasStores(block []isa.Inst) bool {
+	for _, in := range block {
+		if in.Op.IsStore() {
+			return true
+		}
+	}
+	return false
+}
+
+// communicated returns the registers CD consumes that Slice produces — the
+// values that must flow from the first loop to the second (§IV-B).
+func (k *Kernel) communicated() []isa.Reg {
+	need := upwardExposed(k.CD) & blockWrites(k.Slice)
+	var out []isa.Reg
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if need.has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// backwardSlice returns the sub-sequence of block needed to compute the
+// given registers, by backward dataflow closure.
+func backwardSlice(block []isa.Inst, want regSet) []isa.Inst {
+	needed := want
+	keep := make([]bool, len(block))
+	for i := len(block) - 1; i >= 0; i-- {
+		if writes(block[i]).intersects(needed) {
+			keep[i] = true
+			needed &^= writes(block[i])
+			needed |= reads(block[i])
+		}
+	}
+	var out []isa.Inst
+	for i, k := range keep {
+		if k {
+			out = append(out, block[i])
+		}
+	}
+	return out
+}
+
+func emitBlock(b *prog.Builder, block []isa.Inst) {
+	for _, in := range block {
+		b.Raw(in)
+	}
+}
+
+// Base emits the untransformed loop.
+func (k *Kernel) Base() (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("loop")
+	emitBlock(b, k.Slice)
+	if k.Note != "" {
+		b.Note(k.Note, prog.SeparableTotal)
+	}
+	b.Branch(isa.BEQ, k.Pred, isa.Zero, "skip")
+	emitBlock(b, k.CD)
+	b.Label("skip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, k.Counter, k.Counter, -1)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+// CFD emits the decoupled transformation: strip-mined BQ-sized chunks, a
+// predicate-generating loop, and a consuming loop. With useVQ the
+// communicated values travel through the value queue (CFD+); otherwise
+// their backward slices are recomputed in the second loop.
+func (k *Kernel) CFD(useVQ bool) (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if cls, err := k.Classify(); cls != prog.SeparableTotal {
+		return nil, err
+	}
+	inductions := k.inductionRegs()
+	chunkReg, tmpReg := k.Scratch[0], k.Scratch[1]
+	shadows := k.Scratch[2 : 2+len(inductions)]
+
+	comm := k.communicated()
+	var recompute []isa.Inst
+	if !useVQ {
+		var want regSet
+		for _, r := range comm {
+			want.add(r)
+		}
+		recompute = backwardSlice(k.Slice, want)
+		// Recomputation is only sound when the recomputed slice reads
+		// nothing the slice itself produced (e.g. an LCG register that
+		// feeds itself would advance twice). Such values must travel
+		// through the VQ instead.
+		if upwardExposed(recompute).intersects(blockWrites(k.Slice)) {
+			return nil, fmt.Errorf("xform %s: communicated values depend on slice-internal state and cannot be recomputed; use CFD(useVQ=true)", k.Name)
+		}
+	}
+	chunkSize := int64(128) // the architectural BQ size (§III-B)
+	if useVQ {
+		chunkSize = 64 // VQ entries pin physical registers; see config
+	}
+
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("chunk")
+	// chunkN = min(chunkSize, Counter)
+	b.Li(chunkReg, chunkSize)
+	b.R(isa.SLT, tmpReg, k.Counter, chunkReg)
+	b.R(isa.CMOVNZ, chunkReg, k.Counter, tmpReg)
+	// Snapshot induction registers.
+	for i, r := range inductions {
+		b.Mov(shadows[i], r)
+	}
+	// Loop 1: the branch slice.
+	b.Mov(tmpReg, chunkReg)
+	b.Label("gen")
+	emitBlock(b, k.Slice)
+	b.PushBQ(k.Pred)
+	if useVQ {
+		for _, r := range comm {
+			b.PushVQ(r)
+		}
+	}
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "gen")
+	// Restore inductions for the second loop.
+	for i, r := range inductions {
+		b.Mov(r, shadows[i])
+	}
+	// Loop 2: the branch and its control-dependent region.
+	b.Mov(tmpReg, chunkReg)
+	b.Label("use")
+	if useVQ {
+		for _, r := range comm {
+			b.PopVQ(r)
+		}
+	}
+	if k.Note != "" {
+		b.Note(k.Note+" (decoupled)", prog.SeparableTotal)
+	}
+	b.BranchBQ("work")
+	b.Jump("skip")
+	b.Label("work")
+	if !useVQ {
+		emitBlock(b, recompute)
+	}
+	emitBlock(b, k.CD)
+	b.Label("skip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "use")
+	b.R(isa.SUB, k.Counter, k.Counter, chunkReg)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "chunk")
+	b.Halt()
+	return b.Build()
+}
+
+// DFD emits the data-flow decoupling transformation (§V): each chunk is
+// preceded by a loop containing only the slice's loads — as prefetches —
+// and their address slices.
+func (k *Kernel) DFD() (*prog.Program, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	inductions := k.inductionRegs()
+	chunkReg, tmpReg := k.Scratch[0], k.Scratch[1]
+	shadows := k.Scratch[2 : 2+len(inductions)]
+
+	// The prefetch body: for each load in Slice, the backward slice of
+	// its address register, then a PREF. Loads themselves are replaced
+	// by prefetches, so later loads depending on loaded values (pointer
+	// chasing) keep their address slices via the recursive closure.
+	var pfBody []isa.Inst
+	var want regSet
+	for _, in := range k.Slice {
+		if in.Op.IsLoad() && in.Op != isa.PREF {
+			want.add(in.Rs1)
+		}
+	}
+	pfBody = append(pfBody, backwardSlice(k.Slice, want)...)
+	for _, in := range k.Slice {
+		if in.Op.IsLoad() && in.Op != isa.PREF {
+			pfBody = append(pfBody, isa.Inst{Op: isa.PREF, Rs1: in.Rs1, Imm: in.Imm})
+		}
+	}
+
+	b := prog.NewBuilder()
+	emitBlock(b, k.Init)
+	b.Label("chunk")
+	b.Li(chunkReg, 128)
+	b.R(isa.SLT, tmpReg, k.Counter, chunkReg)
+	b.R(isa.CMOVNZ, chunkReg, k.Counter, tmpReg)
+	for i, r := range inductions {
+		b.Mov(shadows[i], r)
+	}
+	// Prefetch loop.
+	b.Mov(tmpReg, chunkReg)
+	b.Label("pf")
+	emitBlock(b, pfBody)
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "pf")
+	for i, r := range inductions {
+		b.Mov(r, shadows[i])
+	}
+	// Original loop over the warmed chunk.
+	b.Mov(tmpReg, chunkReg)
+	b.Label("loop")
+	emitBlock(b, k.Slice)
+	if k.Note != "" {
+		b.Note(k.Note, prog.SeparableTotal)
+	}
+	b.Branch(isa.BEQ, k.Pred, isa.Zero, "skip")
+	emitBlock(b, k.CD)
+	b.Label("skip")
+	emitBlock(b, k.Step)
+	b.I(isa.ADDI, tmpReg, tmpReg, -1)
+	b.Branch(isa.BNE, tmpReg, isa.Zero, "loop")
+	b.R(isa.SUB, k.Counter, k.Counter, chunkReg)
+	b.Branch(isa.BNE, k.Counter, isa.Zero, "chunk")
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,289 @@
+package xform
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/emu"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/pipeline"
+	"cfd/internal/prog"
+)
+
+// soplexKernel is the paper's Fig 8 loop expressed as a structured kernel:
+// if (test[i] > theeps) { out[i] = f(test[i]); acc updates }.
+func soplexKernel(n int64) *Kernel {
+	return &Kernel{
+		Name: "soplex-auto",
+		Init: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 0x100000}, // test ptr
+			{Op: isa.ADDI, Rd: 2, Rs1: 0, Imm: 0x800000}, // out ptr
+			{Op: isa.ADDI, Rd: 3, Rs1: 0, Imm: 500},      // theeps
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: n},        // counter
+			{Op: isa.ADDI, Rd: 12, Rs1: 0, Imm: 0},       // acc
+		},
+		Slice: []isa.Inst{
+			{Op: isa.LD, Rd: 7, Rs1: 1, Imm: 0},  // x = test[i]
+			{Op: isa.SLT, Rd: 8, Rs1: 3, Rs2: 7}, // p = theeps < x
+		},
+		CD: []isa.Inst{
+			{Op: isa.SHLI, Rd: 9, Rs1: 7, Imm: 1}, // consumes x: a communicated value
+			{Op: isa.ADDI, Rd: 9, Rs1: 9, Imm: 17},
+			{Op: isa.SD, Rs1: 2, Rs2: 9, Imm: 0},
+			{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 9},
+			{Op: isa.XOR, Rd: 10, Rs1: 12, Rs2: 7},
+			{Op: isa.SHRI, Rd: 11, Rs1: 10, Imm: 2},
+			{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 11},
+		},
+		Step: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8},
+			{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 8},
+		},
+		Pred:    8,
+		Counter: 4,
+		Scratch: []isa.Reg{20, 21, 22, 23},
+		NoAlias: true,
+		Note:    "test[i] > theeps",
+	}
+}
+
+func kernelMem(n int64, seed int64) *mem.Memory {
+	rng := rand.New(rand.NewSource(seed))
+	m := mem.New()
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1000))
+	}
+	m.WriteUint64s(0x100000, vals)
+	return m
+}
+
+func runProg(t *testing.T, p *prog.Program, m *mem.Memory) *mem.Memory {
+	t.Helper()
+	mc := emu.New(p, m)
+	if err := mc.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return mc.Mem
+}
+
+func TestAutoCFDMatchesBase(t *testing.T) {
+	const n = 1000
+	k := soplexKernel(n)
+	base, err := k.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runProg(t, base, kernelMem(n, 1))
+	for _, useVQ := range []bool{false, true} {
+		tp, err := k.CFD(useVQ)
+		if err != nil {
+			t.Fatalf("CFD(useVQ=%v): %v", useVQ, err)
+		}
+		got := runProg(t, tp, kernelMem(n, 1))
+		if !want.Equal(got) {
+			t.Errorf("CFD(useVQ=%v) output diverges from base", useVQ)
+		}
+	}
+}
+
+func TestAutoDFDMatchesBase(t *testing.T) {
+	const n = 1000
+	k := soplexKernel(n)
+	base, _ := k.Base()
+	want := runProg(t, base, kernelMem(n, 1))
+	dfd, err := k.DFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runProg(t, dfd, kernelMem(n, 1))
+	if !want.Equal(got) {
+		t.Error("DFD output diverges from base")
+	}
+	// The prefetch loop must contain PREF, not loads of test[].
+	found := false
+	for _, in := range dfd.Insts {
+		if in.Op == isa.PREF {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("DFD emitted no prefetches")
+	}
+}
+
+func TestAutoCFDSpeedsUpPipeline(t *testing.T) {
+	// The paper's claim for the compiler pass: comparable performance to
+	// manual CFD for totally separable branches — i.e., it must deliver
+	// the misprediction elimination and a real speedup.
+	const n = 8000
+	k := soplexKernel(n)
+	base, _ := k.Base()
+	cfdP, err := k.CFD(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *prog.Program) *pipeline.Core {
+		core, err := pipeline.New(config.SandyBridge(), p, kernelMem(n, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return core
+	}
+	b := run(base)
+	c := run(cfdP)
+	if sp := float64(b.Stats.Cycles) / float64(c.Stats.Cycles); sp < 1.2 {
+		t.Errorf("auto-CFD speedup = %.2f, want > 1.2", sp)
+	}
+	if c.Stats.MPKI() > b.Stats.MPKI()/5 {
+		t.Errorf("auto-CFD MPKI %.2f vs base %.2f: mispredictions not eliminated",
+			c.Stats.MPKI(), b.Stats.MPKI())
+	}
+	if c.Stats.BQPops == 0 {
+		t.Error("auto-CFD used no BQ pops")
+	}
+}
+
+func TestClassifyRejectsLoopCarriedDependence(t *testing.T) {
+	k := soplexKernel(100)
+	// Make the CD write a register the slice reads: inseparable.
+	k.CD = append(k.CD, isa.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1})
+	cls, err := k.Classify()
+	if cls != prog.Inseparable || err == nil {
+		t.Errorf("Classify = %v, %v; want Inseparable", cls, err)
+	}
+	if _, err := k.CFD(false); err == nil {
+		t.Error("CFD accepted an inseparable kernel")
+	}
+}
+
+func TestClassifyRejectsInductionClobber(t *testing.T) {
+	k := soplexKernel(100)
+	k.CD = append(k.CD, isa.Inst{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8})
+	if cls, _ := k.Classify(); cls != prog.Inseparable {
+		t.Errorf("Classify = %v, want Inseparable (CD writes an induction)", cls)
+	}
+}
+
+func TestClassifyRequiresNoAliasAssertion(t *testing.T) {
+	k := soplexKernel(100)
+	k.NoAlias = false
+	cls, err := k.Classify()
+	if cls != prog.Inseparable || err == nil || !strings.Contains(err.Error(), "alias") {
+		t.Errorf("Classify = %v, %v; want aliasing rejection", cls, err)
+	}
+}
+
+func TestValidateCatchesStructuralErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Kernel)
+		want   string
+	}{
+		{func(k *Kernel) { k.Slice = append(k.Slice, isa.Inst{Op: isa.BEQ}) }, "control transfer"},
+		{func(k *Kernel) { k.CD = append(k.CD, isa.Inst{Op: isa.PushBQ, Rs1: 1}) }, "CFD instruction"},
+		{func(k *Kernel) { k.Pred = 25 }, "does not write the predicate"},
+		{func(k *Kernel) { k.Scratch = k.Scratch[:2] }, "scratch"},
+		{func(k *Kernel) { k.Scratch = []isa.Reg{7, 21, 22, 23} }, "used by the kernel"},
+		{func(k *Kernel) {
+			k.Step = append(k.Step, isa.Inst{Op: isa.ADD, Rd: 2, Rs1: 2, Rs2: 7})
+		}, "Step reads values computed by Slice"},
+	}
+	for i, c := range cases {
+		k := soplexKernel(100)
+		c.mutate(k)
+		err := k.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: err = %v, want containing %q", i, err, c.want)
+		}
+	}
+}
+
+func TestBackwardSlice(t *testing.T) {
+	block := []isa.Inst{
+		{Op: isa.ADDI, Rd: 5, Rs1: 1, Imm: 8}, // needed (feeds r6)
+		{Op: isa.ADDI, Rd: 9, Rs1: 2, Imm: 1}, // dead for r6
+		{Op: isa.ADD, Rd: 6, Rs1: 5, Rs2: 3},  // needed
+	}
+	var want regSet
+	want.add(6)
+	out := backwardSlice(block, want)
+	if len(out) != 2 || out[0].Rd != 5 || out[1].Rd != 6 {
+		t.Errorf("backwardSlice = %v", out)
+	}
+}
+
+func TestCommunicatedValues(t *testing.T) {
+	k := soplexKernel(100)
+	comm := k.communicated()
+	if len(comm) != 1 || comm[0] != 7 {
+		t.Errorf("communicated = %v, want [r7] (x)", comm)
+	}
+}
+
+func TestPointerChasingDFDAddressSlices(t *testing.T) {
+	// A slice whose second load's address depends on the first load:
+	// the DFD prefetch loop must keep the first load (address slice) and
+	// prefetch both.
+	k := &Kernel{
+		Name: "chase",
+		Init: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: 0x100000},
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: 64},
+		},
+		Slice: []isa.Inst{
+			{Op: isa.LD, Rd: 5, Rs1: 1, Imm: 0},   // p = a[i] (an address)
+			{Op: isa.LD, Rd: 6, Rs1: 5, Imm: 0},   // v = *p
+			{Op: isa.ANDI, Rd: 8, Rs1: 6, Imm: 1}, // pred
+		},
+		CD:      []isa.Inst{{Op: isa.ADDI, Rd: 12, Rs1: 12, Imm: 1}},
+		Step:    []isa.Inst{{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8}},
+		Pred:    8,
+		Counter: 4,
+		Scratch: []isa.Reg{20, 21, 22},
+		NoAlias: true,
+	}
+	dfd, err := k.DFD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both a real LD (the address producer) and PREFs must appear in the
+	// prefetch loop region (before the "loop" label).
+	loopPC, _ := dfd.LabelAt("loop")
+	var lds, prefs int
+	for pc, in := range dfd.Insts {
+		if uint64(pc) >= loopPC {
+			break
+		}
+		switch {
+		case in.Op == isa.PREF:
+			prefs++
+		case in.Op == isa.LD:
+			lds++
+		}
+	}
+	if prefs < 2 {
+		t.Errorf("prefetch loop has %d PREFs, want 2", prefs)
+	}
+	if lds < 1 {
+		t.Errorf("prefetch loop lost the address-producing load")
+	}
+
+	// And it still computes the same result.
+	m := mem.New()
+	for i := 0; i < 64; i++ {
+		m.Write(0x100000+uint64(8*i), 8, uint64(0x200000+8*i))
+		m.Write(0x200000+uint64(8*i), 8, uint64(i))
+	}
+	base, _ := k.Base()
+	want := runProg(t, base, m.Clone())
+	got := runProg(t, dfd, m.Clone())
+	if !want.Equal(got) {
+		t.Error("pointer-chasing DFD diverges")
+	}
+}
