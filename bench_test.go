@@ -59,6 +59,28 @@ func BenchmarkAblationIfConvCrossover(b *testing.B) { benchExperiment(b, "ablati
 func BenchmarkAblationPredictors(b *testing.B)      { benchExperiment(b, "ablation-pred") }
 func BenchmarkAblationAutoCFD(b *testing.B)         { benchExperiment(b, "ablation-xform") }
 
+// Parallel-harness benchmarks: one experiment under explicit -jobs
+// settings. On a multi-core host BenchmarkFig18Parallel should approach
+// a GOMAXPROCS-fold speedup over BenchmarkFig18Serial; the outputs are
+// byte-identical (TestSweepDeterminism pins that).
+
+func benchExperimentJobs(b *testing.B, id string, jobs int, verify bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := RunExperimentWith(id, &buf, benchScale, jobs, verify); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			b.Fatalf("%s: empty output", id)
+		}
+	}
+}
+
+func BenchmarkFig18Serial(b *testing.B)   { benchExperimentJobs(b, "fig18", 1, false) }
+func BenchmarkFig18Parallel(b *testing.B) { benchExperimentJobs(b, "fig18", 0, false) }
+func BenchmarkFig18Verified(b *testing.B) { benchExperimentJobs(b, "fig18", 0, true) }
+
 // Infrastructure microbenchmarks: simulator and emulator throughput.
 
 func BenchmarkPipelineThroughput(b *testing.B) {

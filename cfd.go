@@ -109,6 +109,28 @@ func Emulate(p *Program, m *Memory, limit uint64) (*Machine, error) {
 	return mc, nil
 }
 
+// CrossCheck runs p from the initial memory m twice — once on the
+// cycle-level core under cfg and once on the functional emulator, the
+// golden architectural model — and returns an error describing the first
+// divergence in retired-instruction count, architectural registers, or
+// final memory (nil if the two agree). m may be nil; it is cloned for both
+// runs. This is the differential-verification primitive behind the
+// harness's Verify mode and cfdbench/cfdsim -verify.
+func CrossCheck(cfg CoreConfig, p *Program, m *Memory) error {
+	if m == nil {
+		m = mem.New()
+	}
+	core, err := pipeline.New(cfg, p, m.Clone())
+	if err != nil {
+		return err
+	}
+	if err := core.Run(0); err != nil {
+		return fmt.Errorf("cfd: pipeline run: %w", err)
+	}
+	return emu.VerifyArch(p, m.Clone(), core.ArchRegs(), core.Mem(), core.Stats.Retired,
+		emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize))
+}
+
 // NewCore builds a cycle-level core for a custom program.
 func NewCore(cfg CoreConfig, p *Program, m *Memory) (*Core, error) {
 	return pipeline.New(cfg, p, m)
@@ -145,18 +167,34 @@ func Simulate(name string, v Variant, cfg CoreConfig, n int64) (*Core, error) {
 }
 
 // NewRunner returns an experiment runner; scale multiplies every
-// workload's default size (1.0 = the full evaluation).
+// workload's default size (1.0 = the full evaluation). The Runner is safe
+// for concurrent use and fans each experiment's simulations across
+// GOMAXPROCS workers by default; set Runner.Jobs = 1 for strictly serial
+// runs (the output is byte-identical either way) and Runner.Verify = true
+// to cross-check every run against the functional emulator.
 func NewRunner(scale float64) *Runner { return harness.NewRunner(scale) }
 
 // Experiments lists every reproducible table and figure.
 func Experiments() []*Experiment { return harness.AllExperiments() }
 
 // RunExperiment regenerates one paper table/figure (by ID such as "fig18"
-// or "table1"), writing its rows to w.
+// or "table1"), writing its rows to w. Simulations fan out across
+// GOMAXPROCS workers; use RunExperimentWith to control parallelism or
+// enable differential verification.
 func RunExperiment(id string, w io.Writer, scale float64) error {
+	return RunExperimentWith(id, w, scale, 0, false)
+}
+
+// RunExperimentWith is RunExperiment with explicit parallelism (jobs = 0
+// means GOMAXPROCS, 1 means serial) and optional differential verification
+// of every simulation against the emulator.
+func RunExperimentWith(id string, w io.Writer, scale float64, jobs int, verify bool) error {
 	e, ok := harness.ByID(id)
 	if !ok {
 		return fmt.Errorf("cfd: unknown experiment %q", id)
 	}
-	return e.Run(harness.NewRunner(scale), w)
+	r := harness.NewRunner(scale)
+	r.Jobs = jobs
+	r.Verify = verify
+	return e.Run(r, w)
 }

@@ -5,7 +5,7 @@
 //
 //	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
 //	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
-//	       [-pipeview N]
+//	       [-pipeview N] [-verify]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"cfd/internal/config"
+	"cfd/internal/emu"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
 )
@@ -31,6 +32,7 @@ func main() {
 		dumpAsm  = flag.Bool("dump-asm", false, "print the program disassembly and exit")
 		branches = flag.Bool("branches", false, "print per-static-branch statistics")
 		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
+		verify   = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
 	)
 	flag.Parse()
 
@@ -66,12 +68,23 @@ func main() {
 	if *pipeview > 0 {
 		popts = append(popts, pipeline.WithTrace(*pipeview))
 	}
+	var init = m
+	if *verify {
+		init = m.Clone()
+	}
 	core, err := pipeline.New(cfg, p, m, popts...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if err := core.Run(0); err != nil {
 		fatalf("%v", err)
+	}
+	if *verify {
+		if err := emu.VerifyArch(p, init, core.ArchRegs(), core.Mem(), core.Stats.Retired,
+			emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)); err != nil {
+			fatalf("differential verification failed: %v", err)
+		}
+		fmt.Println("verify          OK (retired state matches the functional emulator)")
 	}
 
 	st := core.Stats

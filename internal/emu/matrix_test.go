@@ -1,0 +1,98 @@
+package emu_test
+
+// The emulator is the golden architectural model: every workload variant
+// must retire exactly the same architectural state on the cycle-level
+// pipeline as on the emulator. consistency_test.go pins the shared ALU and
+// branch helpers instruction by instruction; this file extends the oracle
+// to the full workload matrix — every registered workload × every variant
+// it implements — which is the same cross-check the parallel harness's
+// Verify mode applies to experiment runs.
+
+import (
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/emu"
+	"cfd/internal/pipeline"
+	"cfd/internal/workload"
+)
+
+// matrixN caps the per-workload input size so the full matrix stays fast.
+const matrixN = 1500
+
+func TestPipelineMatchesEmulatorMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, s := range workload.All() {
+		for _, v := range s.Variants {
+			s, v := s, v
+			t.Run(s.Name+"/"+string(v), func(t *testing.T) {
+				t.Parallel()
+				n := s.TestN
+				if n > matrixN {
+					n = matrixN
+				}
+				p, m, err := s.Build(v, n)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				init := m.Clone()
+				cfg := config.SandyBridge()
+				core, err := pipeline.New(cfg, p, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := core.Run(0); err != nil {
+					t.Fatalf("pipeline: %v", err)
+				}
+				if err := emu.VerifyArch(p, init, core.ArchRegs(), core.Mem(), core.Stats.Retired,
+					emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyArchCatchesDivergence makes sure the oracle is not vacuous: a
+// corrupted register file, a short retire count, and a corrupted memory
+// image must each be rejected.
+func TestVerifyArchCatchesDivergence(t *testing.T) {
+	s, ok := workload.ByName("bzip2like")
+	if !ok {
+		t.Fatal("bzip2like not registered")
+	}
+	p, m, err := s.Build(workload.Base, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := m.Clone()
+	cfg := config.SandyBridge()
+	core, err := pipeline.New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	opts := emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)
+
+	regs := core.ArchRegs()
+	if err := emu.VerifyArch(p, init.Clone(), regs, core.Mem(), core.Stats.Retired, opts); err != nil {
+		t.Fatalf("clean run rejected: %v", err)
+	}
+	bad := regs
+	bad[5] ^= 0xdeadbeef
+	if err := emu.VerifyArch(p, init.Clone(), bad, core.Mem(), core.Stats.Retired, opts); err == nil {
+		t.Error("corrupted register file accepted")
+	}
+	if err := emu.VerifyArch(p, init.Clone(), regs, core.Mem(), core.Stats.Retired-1, opts); err == nil {
+		t.Error("short retire count accepted")
+	}
+	corrupt := core.Mem().Clone()
+	corrupt.Write(0x33333, 8, 0x1234)
+	if err := emu.VerifyArch(p, init.Clone(), regs, corrupt, core.Stats.Retired, opts); err == nil {
+		t.Error("corrupted memory accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package emu
+
+import (
+	"fmt"
+
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// VerifyArch replays p from the initial memory init on a fresh Machine —
+// the golden architectural model — and compares the outcome against the
+// retired state another execution engine (in practice the cycle-level
+// pipeline) produced for the same program: retired-instruction count,
+// architectural register file, and final memory. It returns nil when they
+// agree and a descriptive error on the first divergence.
+//
+// init must be the memory image the other engine started from (pass a
+// clone taken before that run: both engines mutate their memory). opts are
+// forwarded to the Machine so callers can match non-default architectural
+// queue sizes.
+func VerifyArch(p *prog.Program, init *mem.Memory, regs [isa.NumRegs]uint64, final *mem.Memory, retired uint64, opts ...Option) error {
+	if init == nil {
+		init = mem.New()
+	}
+	golden := New(p, init, opts...)
+	if err := golden.Run(0); err != nil {
+		return fmt.Errorf("emu: golden replay failed: %w", err)
+	}
+	if golden.Retired != retired {
+		return fmt.Errorf("emu: retired-instruction divergence: golden retired %d, core retired %d",
+			golden.Retired, retired)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if regs[r] != golden.Regs[r] {
+			return fmt.Errorf("emu: architectural register divergence: r%d = %#x, golden %#x",
+				r, regs[r], golden.Regs[r])
+		}
+	}
+	if !golden.Mem.Equal(final) {
+		return fmt.Errorf("emu: final-memory divergence (golden checksum %#x, core checksum %#x)",
+			golden.Mem.Checksum(), final.Checksum())
+	}
+	return nil
+}

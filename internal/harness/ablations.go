@@ -27,17 +27,71 @@ func hmean(xs []float64) float64 {
 // ablationSet is the workload set used for the baseline-selection studies.
 var ablationSet = []string{"soplexlike", "mcflike", "bzip2like", "astar1like", "tifflike"}
 
+// ckptSweepConfigs enumerates the checkpoint-count sweep configurations.
+func ckptSweepConfigs() []config.Core {
+	var out []config.Core
+	for _, n := range []int{0, 1, 2, 4, 8, 16, 32} {
+		cfg := config.SandyBridge()
+		cfg.NumCheckpoints = n
+		cfg.Name = fmt.Sprintf("ckpt-%d", n)
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// ckptPolicies enumerates the recovery-policy study configurations.
+func ckptPolicies() []struct {
+	name string
+	cfg  config.Core
+} {
+	var out []struct {
+		name string
+		cfg  config.Core
+	}
+	for _, pol := range []struct {
+		name      string
+		ooo, conf bool
+	}{
+		{"OoO reclaim + confidence-guided (paper's best)", true, true},
+		{"OoO reclaim, every branch", true, false},
+		{"in-order reclaim + confidence-guided", false, true},
+		{"in-order reclaim, every branch", false, false},
+	} {
+		cfg := config.SandyBridge()
+		cfg.CkptOoOReclaim = pol.ooo
+		cfg.CkptConfGuided = pol.conf
+		cfg.Name = "policy-" + pol.name
+		out = append(out, struct {
+			name string
+			cfg  config.Core
+		}{pol.name, cfg})
+	}
+	return out
+}
+
 func init() {
 	registerExp(&Experiment{
 		ID:    "ablation-ckpt",
 		Title: "§VI baseline selection: checkpoint count and recovery policy",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, cfg := range ckptSweepConfigs() {
+				for _, name := range ablationSet {
+					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+				}
+			}
+			for _, pol := range ckptPolicies() {
+				for _, name := range ablationSet {
+					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: pol.cfg})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
+
 			t := stats.NewTable("Checkpoint count sweep (OoO reclaim, confidence-guided): harmonic-mean baseline IPC",
 				"checkpoints", "hmean IPC")
-			for _, n := range []int{0, 1, 2, 4, 8, 16, 32} {
-				cfg := config.SandyBridge()
-				cfg.NumCheckpoints = n
-				cfg.Name = fmt.Sprintf("ckpt-%d", n)
+			for _, cfg := range ckptSweepConfigs() {
 				var ipcs []float64
 				for _, name := range ablationSet {
 					res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
@@ -46,28 +100,16 @@ func init() {
 					}
 					ipcs = append(ipcs, res.Stats.IPC())
 				}
-				t.Addf(n, hmean(ipcs))
+				t.Addf(cfg.NumCheckpoints, hmean(ipcs))
 			}
 			fmt.Fprintln(w, t)
 
 			t2 := stats.NewTable("Recovery policy at 8 checkpoints: harmonic-mean baseline IPC",
 				"policy", "hmean IPC")
-			for _, pol := range []struct {
-				name      string
-				ooo, conf bool
-			}{
-				{"OoO reclaim + confidence-guided (paper's best)", true, true},
-				{"OoO reclaim, every branch", true, false},
-				{"in-order reclaim + confidence-guided", false, true},
-				{"in-order reclaim, every branch", false, false},
-			} {
-				cfg := config.SandyBridge()
-				cfg.CkptOoOReclaim = pol.ooo
-				cfg.CkptConfGuided = pol.conf
-				cfg.Name = "policy-" + pol.name
+			for _, pol := range ckptPolicies() {
 				var ipcs []float64
 				for _, name := range ablationSet {
-					res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+					res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: pol.cfg})
 					if err != nil {
 						return err
 					}
@@ -85,17 +127,29 @@ func init() {
 		ID:    "ablation-pred",
 		Title: "§VI baseline selection: branch predictor class",
 		Run: func(r *Runner, w io.Writer) error {
+			kinds := []config.PredictorKind{config.PredBimodal, config.PredGshare, config.PredISLTAGE}
+			predCfg := func(k config.PredictorKind) config.Core {
+				cfg := config.SandyBridge()
+				cfg.Predictor = k
+				cfg.Name = "pred-" + k.String()
+				return cfg
+			}
+			var specs []RunSpec
+			for _, name := range ablationSet {
+				for _, k := range kinds {
+					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: predCfg(k)})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Baseline MPKI and IPC per predictor",
 				"workload", "bimodal MPKI", "gshare MPKI", "isl-tage MPKI", "isl-tage IPC")
-			kinds := []config.PredictorKind{config.PredBimodal, config.PredGshare, config.PredISLTAGE}
 			for _, name := range ablationSet {
 				row := []string{name}
 				var lastIPC float64
 				for _, k := range kinds {
-					cfg := config.SandyBridge()
-					cfg.Predictor = k
-					cfg.Name = "pred-" + k.String()
-					res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
+					res, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: predCfg(k)})
 					if err != nil {
 						return err
 					}

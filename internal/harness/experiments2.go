@@ -22,6 +22,18 @@ func init() {
 		ID:    "fig18",
 		Title: "Fig 18: performance and energy impact of CFD and CFD+",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFD) {
+				specs = append(specs,
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
+					RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
+				if s.HasVariant(workload.CFDPlus) {
+					specs = append(specs, RunSpec{Workload: s.Name, Variant: workload.CFDPlus, Config: config.SandyBridge()})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 18: CFD/CFD+ speedup and energy reduction vs base",
 				"workload", "cfd speedup", "cfd energy", "cfd+ speedup", "cfd+ energy")
 			var sp []float64
@@ -57,6 +69,17 @@ func init() {
 		ID:    "fig19",
 		Title: "Fig 19: effective IPC — Base, CFD+, Base+PerfectCFD, PerfectPrediction",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFD) {
+				specs = append(specs,
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
+					RunSpec{Workload: s.Name, Variant: bestCFD(s), Config: config.SandyBridge()},
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectCFD: true},
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectAll: true})
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 19: effective IPC comparison",
 				"workload", "base", "cfd", "base+perfectCFD", "perfect", "group")
 			for _, s := range withVariant(workload.CFD) {
@@ -95,6 +118,15 @@ func init() {
 		ID:    "fig20",
 		Title: "Fig 20: fetched-instruction accounting (wrong-path reduction vs retired overhead)",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFD) {
+				specs = append(specs,
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
+					RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 20: fetched instructions normalized to base fetched",
 				"workload", "base retired", "base wrong-path", "cfd retired", "cfd wrong-path")
 			for _, s := range withVariant(workload.CFD) {
@@ -122,6 +154,18 @@ func init() {
 		ID:    "fig21a",
 		Title: "Fig 21a: sensitivity to pipeline depth (fetch-to-execute)",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
+				for _, d := range []int{5, 10, 15, 20} {
+					cfg := config.SandyBridge().WithDepth(d)
+					specs = append(specs,
+						RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
+						RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 21a: CFD speedup vs fetch-to-execute depth",
 				"workload", "depth 5", "depth 10", "depth 15", "depth 20")
 			for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
@@ -150,6 +194,18 @@ func init() {
 		ID:    "fig21b",
 		Title: "Fig 21b: CFD gains under larger instruction windows",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, rob := range []int{168, 256, 512} {
+				cfg := config.Scaled(rob)
+				for _, s := range withVariant(workload.CFD) {
+					specs = append(specs,
+						RunSpec{Workload: s.Name, Variant: workload.Base, Config: cfg},
+						RunSpec{Workload: s.Name, Variant: workload.CFD, Config: cfg})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 21b: geometric-mean CFD speedup per window",
 				"window", "gmean speedup")
 			for _, rob := range []int{168, 256, 512} {
@@ -177,9 +233,21 @@ func init() {
 		ID:    "fig21c",
 		Title: "Fig 21c: speculative pop vs stall on a BQ miss",
 		Run: func(r *Runner, w io.Writer) error {
+			stallCfg := config.SandyBridge()
+			stallCfg.BQMissPolicy = config.StallFetch
+			names := []string{"tifflike", "soplexlike", "mcflike", "bzip2like"}
+			var specs []RunSpec
+			for _, name := range names {
+				specs = append(specs,
+					RunSpec{Workload: name, Variant: workload.Base, Config: config.SandyBridge()},
+					RunSpec{Workload: name, Variant: workload.CFD, Config: config.SandyBridge()},
+					RunSpec{Workload: name, Variant: workload.CFD, Config: stallCfg})
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 21c: effective IPC, spec vs stall BQ-miss policy",
 				"workload", "base", "cfd (spec)", "cfd (stall)", "BQ miss rate")
-			names := []string{"tifflike", "soplexlike", "mcflike", "bzip2like"}
 			for _, name := range names {
 				base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: config.SandyBridge()})
 				if err != nil {
@@ -189,8 +257,6 @@ func init() {
 				if err != nil {
 					return err
 				}
-				stallCfg := config.SandyBridge()
-				stallCfg.BQMissPolicy = config.StallFetch
 				stall, err := r.Run(RunSpec{Workload: name, Variant: workload.CFD, Config: stallCfg})
 				if err != nil {
 					return err
@@ -211,6 +277,12 @@ func init() {
 		ID:    "fig22",
 		Title: "Fig 22: astar region #1 case study (source and behavior)",
 		Run: func(r *Runner, w io.Writer) error {
+			if err := r.Prefetch(
+				RunSpec{Workload: "astar1like", Variant: workload.Base, Config: config.SandyBridge()},
+				RunSpec{Workload: "astar1like", Variant: workload.CFD, Config: config.SandyBridge()},
+			); err != nil {
+				return err
+			}
 			s, _ := workload.ByName("astar1like")
 			for _, v := range []workload.Variant{workload.Base, workload.CFD} {
 				p, _, err := s.Build(v, 256)
@@ -237,6 +309,17 @@ func init() {
 		ID:    "fig23",
 		Title: "Fig 23: effective IPC vs window size, base vs CFD (astar analogs)",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, name := range []string{"astar1like", "mcflike"} {
+				for _, cfg := range config.WindowSweep() {
+					specs = append(specs,
+						RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
+						RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 23: effective IPC across windows",
 				"workload", "window", "base", "cfd", "cfd speedup")
 			for _, name := range []string{"astar1like", "mcflike"} {
@@ -262,6 +345,15 @@ func init() {
 		ID:    "fig24",
 		Title: "Fig 24: DFD vs CFD performance and energy",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.DFD) {
+				for _, v := range []workload.Variant{workload.Base, workload.CFD, workload.DFD} {
+					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 24: CFD vs DFD speedup and energy reduction",
 				"workload", "cfd speedup", "dfd speedup", "cfd energy", "dfd energy")
 			for _, s := range withVariant(workload.DFD) {
@@ -289,6 +381,12 @@ func init() {
 		ID:    "fig25a",
 		Title: "Fig 25a: L1 MSHR utilization histogram, CFD vs DFD",
 		Run: func(r *Runner, w io.Writer) error {
+			if err := r.Prefetch(
+				RunSpec{Workload: "mcflike", Variant: workload.CFD, Config: config.SandyBridge(), SampleMSHR: true},
+				RunSpec{Workload: "mcflike", Variant: workload.DFD, Config: config.SandyBridge(), SampleMSHR: true},
+			); err != nil {
+				return err
+			}
 			for _, v := range []workload.Variant{workload.CFD, workload.DFD} {
 				res, err := r.Run(RunSpec{Workload: "mcflike", Variant: v, Config: config.SandyBridge(), SampleMSHR: true})
 				if err != nil {
@@ -309,6 +407,15 @@ func init() {
 		ID:    "fig25b",
 		Title: "Fig 25b: misprediction memory-level breakdown, base vs DFD",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, name := range []string{"mcflike", "astar1like", "soplexlike"} {
+				for _, v := range []workload.Variant{workload.Base, workload.DFD} {
+					specs = append(specs, RunSpec{Workload: name, Variant: v, Config: config.SandyBridge()})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 25b: mispredicts by feeding level",
 				"workload", "scheme", "NoData", "L1", "L2", "L3", "MEM")
 			for _, name := range []string{"mcflike", "astar1like", "soplexlike"} {
@@ -332,6 +439,15 @@ func init() {
 		ID:    "fig26",
 		Title: "Fig 26: applying CFD and DFD simultaneously",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFDDFD) {
+				for _, v := range []workload.Variant{workload.Base, workload.DFD, workload.CFD, workload.CFDDFD} {
+					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 26: speedup of DFD-only, CFD-only, and DFD+CFD",
 				"workload", "dfd", "cfd", "dfd+cfd")
 			for _, s := range withVariant(workload.CFDDFD) {
@@ -358,6 +474,15 @@ func init() {
 		ID:    "fig27",
 		Title: "Fig 27: performance and energy impact of CFD(TQ)",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFDTQ) {
+				specs = append(specs,
+					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
+					RunSpec{Workload: s.Name, Variant: workload.CFDTQ, Config: config.SandyBridge()})
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 27: CFD(TQ) vs base",
 				"workload", "speedup", "energy saved", "TQ pops", "base MPKI", "tq MPKI")
 			for _, s := range withVariant(workload.CFDTQ) {
@@ -381,6 +506,15 @@ func init() {
 		ID:    "fig28",
 		Title: "Fig 28: CFD(BQ), CFD(TQ), and CFD(BQ+TQ) combined",
 		Run: func(r *Runner, w io.Writer) error {
+			var specs []RunSpec
+			for _, s := range withVariant(workload.CFDBQTQ) {
+				for _, v := range []workload.Variant{workload.Base, workload.CFDBQ, workload.CFDTQ, workload.CFDBQTQ} {
+					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("Fig 28: speedup and energy reduction per mechanism",
 				"workload", "cfdbq", "cfdtq", "cfdbqtq", "bqtq energy")
 			for _, s := range withVariant(workload.CFDBQTQ) {

@@ -2,30 +2,72 @@
 // in the evaluation (§VII), an experiment function builds the workload
 // variants, runs them on the cycle-level pipeline (and the classifier where
 // appropriate), and prints the same rows or series the paper reports.
+//
+// The Runner is safe for concurrent use: every experiment submits its
+// RunSpecs up front through Sweep/Prefetch, which fan the simulations
+// across a worker pool, and then assembles its rows serially from the
+// memoized results — so output is byte-identical whatever Jobs is set to.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"cfd/internal/config"
 	"cfd/internal/emu"
+	"cfd/internal/mem"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
 )
 
-// Runner executes and memoizes simulation runs.
+// Runner executes and memoizes simulation runs. The zero value is not
+// usable; construct with NewRunner. A Runner is safe for concurrent use:
+// the cache is mutex-guarded and per-key singleflight, so a spec submitted
+// from any number of goroutines (or repeated across experiments) simulates
+// exactly once.
 type Runner struct {
 	// Scale multiplies every workload's DefaultN (1.0 = full runs; tests
 	// and quick sweeps use smaller fractions).
 	Scale float64
-	cache map[string]*Result
+	// Jobs bounds how many simulations Sweep runs concurrently
+	// (0 = runtime.GOMAXPROCS(0)). Jobs == 1 preserves the strictly
+	// serial execution order.
+	Jobs int
+	// Verify cross-checks every pipeline run against a fresh run of the
+	// functional emulator — the golden architectural model — and fails
+	// the run on any divergence in retired-instruction count,
+	// architectural registers, or final memory.
+	Verify bool
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+// cacheEntry is the singleflight slot for one RunSpec key: the first
+// caller simulates and closes done; everyone else waits on done and reads
+// the memoized outcome (errors are memoized too — simulation is
+// deterministic, so retrying cannot help).
+type cacheEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // NewRunner returns a Runner at the given scale.
 func NewRunner(scale float64) *Runner {
-	return &Runner{Scale: scale, cache: make(map[string]*Result)}
+	return &Runner{Scale: scale, cache: make(map[string]*cacheEntry)}
+}
+
+// jobs resolves the effective worker count.
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RunSpec identifies one simulation run.
@@ -72,9 +114,37 @@ func (rs RunSpec) key() string {
 
 // Run executes (or recalls) one simulation.
 func (r *Runner) Run(rs RunSpec) (*Result, error) {
-	if got, ok := r.cache[rs.key()]; ok {
-		return got, nil
+	return r.RunCtx(context.Background(), rs)
+}
+
+// RunCtx is Run with cancellation: a caller blocked on another
+// goroutine's in-flight simulation of the same spec returns early when ctx
+// is done (the simulation itself runs to completion and stays memoized).
+func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
+	key := rs.key()
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*cacheEntry)
 	}
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	e.res, e.err = r.simulate(rs)
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate performs the actual cycle-level run for rs (no caching).
+func (r *Runner) simulate(rs RunSpec) (*Result, error) {
 	s, ok := workload.ByName(rs.Workload)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", rs.Workload)
@@ -110,6 +180,10 @@ func (r *Runner) Run(rs RunSpec) (*Result, error) {
 			opts = append(opts, pipeline.WithPerfectBP())
 		}
 	}
+	var init *mem.Memory
+	if r.Verify {
+		init = m.Clone()
+	}
 	cfg := rs.Config
 	cfg.Cache.SampleMSHRs = rs.SampleMSHR
 	core, err := pipeline.New(cfg, p, m, opts...)
@@ -119,15 +193,20 @@ func (r *Runner) Run(rs RunSpec) (*Result, error) {
 	if err := core.Run(0); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s on %s: %w", rs.Workload, rs.Variant, cfg.Name, err)
 	}
-	res := &Result{
+	if r.Verify {
+		if err := emu.VerifyArch(p, init, core.ArchRegs(), core.Mem(), core.Stats.Retired,
+			emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)); err != nil {
+			return nil, fmt.Errorf("harness: differential verification of %s/%s on %s: %w",
+				rs.Workload, rs.Variant, cfg.Name, err)
+		}
+	}
+	return &Result{
 		Spec:        rs,
 		Stats:       core.Stats,
 		EnergyTotal: core.Meter.Total(),
 		EnergyQueue: core.Meter.QueueEnergy(),
 		MSHRHist:    core.Hierarchy().Hist,
-	}
-	r.cache[rs.key()] = res
-	return res, nil
+	}, nil
 }
 
 // Experiment regenerates one paper table or figure.

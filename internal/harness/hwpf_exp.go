@@ -9,22 +9,44 @@ import (
 	"cfd/internal/workload"
 )
 
+// hwpfConfig returns the baseline config with or without the hardware
+// next-line prefetcher.
+func hwpfConfig(hwpf bool) config.Core {
+	cfg := config.SandyBridge()
+	cfg.Cache.NextLinePrefetch = hwpf
+	if hwpf {
+		cfg.Name = cfg.Name + "-hwpf"
+	}
+	return cfg
+}
+
 func init() {
 	registerExp(&Experiment{
 		ID:    "ablation-hwpf",
 		Title: "Hardware next-line prefetcher vs DFD and CFD",
 		Run: func(r *Runner, w io.Writer) error {
+			names := []string{"mcflike", "soplexlike", "astar1like"}
+			var specs []RunSpec
+			for _, name := range names {
+				for _, v := range []workload.Variant{workload.DFD, workload.CFD} {
+					for _, hwpf := range []bool{false, true} {
+						cfg := hwpfConfig(hwpf)
+						specs = append(specs,
+							RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
+							RunSpec{Workload: name, Variant: v, Config: cfg})
+					}
+				}
+			}
+			if err := r.Prefetch(specs...); err != nil {
+				return err
+			}
 			t := stats.NewTable("speedup vs the matching baseline, with and without a HW next-line prefetcher",
 				"workload", "dfd (no hwpf)", "dfd (hwpf)", "cfd (no hwpf)", "cfd (hwpf)")
-			for _, name := range []string{"mcflike", "soplexlike", "astar1like"} {
+			for _, name := range names {
 				row := []string{name}
 				for _, v := range []workload.Variant{workload.DFD, workload.CFD} {
 					for _, hwpf := range []bool{false, true} {
-						cfg := config.SandyBridge()
-						cfg.Cache.NextLinePrefetch = hwpf
-						if hwpf {
-							cfg.Name = cfg.Name + "-hwpf"
-						}
+						cfg := hwpfConfig(hwpf)
 						base, err := r.Run(RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
 						if err != nil {
 							return err

@@ -24,15 +24,19 @@ func init() {
 // quantitatively: small CD regions (hammocks) belong to if-conversion,
 // large ones to CFD (§II-B). A compute-only kernel with an unpredictable
 // LCG-derived predicate is swept across CD sizes and transformed both
-// ways by the automatic pass.
+// ways by the automatic pass. All (CD size × scheme) simulations are
+// submitted up front and fan out across the worker pool; the rows are
+// assembled in sweep order from the completed results.
 func runIfConvCrossover(r *Runner, w io.Writer) error {
 	n := int64(40000 * r.Scale)
 	if n < 2000 {
 		n = 2000
 	}
-	t := stats.NewTable("speedup vs base per CD size (compute-only kernel, ~50% taken)",
-		"CD insts", "if-conversion", "cfd (VQ)", "winner")
-	for _, cd := range []int{1, 4, 10, 18, 26} {
+	cdSizes := []int{1, 4, 10, 18, 26}
+	// Build the 3 program variants per CD size serially (cheap), then run
+	// all 15 simulations concurrently.
+	var progs []*prog.Program
+	for _, cd := range cdSizes {
 		k := crossoverKernel(n, cd)
 		base, err := k.Base()
 		if err != nil {
@@ -46,28 +50,26 @@ func runIfConvCrossover(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		run := func(p *prog.Program) (uint64, error) {
-			core, err := pipeline.New(config.SandyBridge(), p, nil)
-			if err != nil {
-				return 0, err
-			}
-			if err := core.Run(0); err != nil {
-				return 0, err
-			}
-			return core.Stats.Cycles, nil
-		}
-		bc, err := run(base)
+		progs = append(progs, base, ic, cfdP)
+	}
+	cycles, err := mapConcurrently(r.jobs(), progs, func(p *prog.Program) (uint64, error) {
+		core, err := pipeline.New(config.SandyBridge(), p, nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		icc, err := run(ic)
-		if err != nil {
-			return err
+		if err := core.Run(0); err != nil {
+			return 0, err
 		}
-		cc, err := run(cfdP)
-		if err != nil {
-			return err
-		}
+		return core.Stats.Cycles, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := stats.NewTable("speedup vs base per CD size (compute-only kernel, ~50% taken)",
+		"CD insts", "if-conversion", "cfd (VQ)", "winner")
+	for i, cd := range cdSizes {
+		bc, icc, cc := cycles[3*i], cycles[3*i+1], cycles[3*i+2]
 		icSp := float64(bc) / float64(icc)
 		cfdSp := float64(bc) / float64(cc)
 		winner := "if-conversion"
@@ -77,7 +79,7 @@ func runIfConvCrossover(r *Runner, w io.Writer) error {
 		t.Add(fmt.Sprint(2+cd), stats.Ratio(icSp), stats.Ratio(cfdSp), winner)
 	}
 	fmt.Fprintln(w, t)
-	_, err := fmt.Fprintln(w, "expected shape: if-conversion wins small CD regions (hammock class), CFD wins large ones (separable class) — the §II-B classification boundary")
+	_, err = fmt.Fprintln(w, "expected shape: if-conversion wins small CD regions (hammock class), CFD wins large ones (separable class) — the §II-B classification boundary")
 	return err
 }
 

@@ -82,25 +82,6 @@ func runXformAblation(r *Runner, w io.Writer) error {
 
 	t := stats.NewTable("Automatic transformation on the cycle-level core",
 		"scheme", "cycles", "IPC", "MPKI", "speedup")
-	var baseCycles uint64
-	run := func(name string, p *prog.Program, err error) error {
-		if err != nil {
-			return err
-		}
-		core, err := pipeline.New(config.SandyBridge(), p, data())
-		if err != nil {
-			return err
-		}
-		if err := core.Run(0); err != nil {
-			return err
-		}
-		if baseCycles == 0 {
-			baseCycles = core.Stats.Cycles
-		}
-		t.Addf(name, core.Stats.Cycles, core.Stats.IPC(), core.Stats.MPKI(),
-			stats.Ratio(float64(baseCycles)/float64(core.Stats.Cycles)))
-		return nil
-	}
 	steps := []struct {
 		name  string
 		build func() (*prog.Program, error)
@@ -110,11 +91,33 @@ func runXformAblation(r *Runner, w io.Writer) error {
 		{"auto-cfd+", func() (*prog.Program, error) { return k.CFD(true) }},
 		{"auto-dfd", k.DFD},
 	}
-	for _, s := range steps {
+	// All four schemes simulate concurrently; rows are assembled in the
+	// fixed step order with the base row's cycles as the speedup anchor.
+	cores, err := mapConcurrently(r.jobs(), steps, func(s struct {
+		name  string
+		build func() (*prog.Program, error)
+	}) (*pipeline.Core, error) {
 		p, err := s.build()
-		if err := run(s.name, p, err); err != nil {
-			return err
+		if err != nil {
+			return nil, err
 		}
+		core, err := pipeline.New(config.SandyBridge(), p, data())
+		if err != nil {
+			return nil, err
+		}
+		if err := core.Run(0); err != nil {
+			return nil, err
+		}
+		return core, nil
+	})
+	if err != nil {
+		return err
+	}
+	baseCycles := cores[0].Stats.Cycles
+	for i, s := range steps {
+		core := cores[i]
+		t.Addf(s.name, core.Stats.Cycles, core.Stats.IPC(), core.Stats.MPKI(),
+			stats.Ratio(float64(baseCycles)/float64(core.Stats.Cycles)))
 	}
 	fmt.Fprintln(w, t)
 	_, err = fmt.Fprintln(w, "expected shape: automatic CFD matches manual CFD's behavior on totally separable branches (paper §III-B)")

@@ -1,0 +1,24 @@
+package pipeline
+
+import "cfd/internal/isa"
+
+// ArchReg returns the committed (retired) architectural value of r: the
+// physical register the architectural map table points at. It reflects only
+// retired instructions — in-flight speculative writes are invisible — so
+// after Run it is the architectural register file the functional emulator
+// must agree with.
+func (c *Core) ArchReg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return c.prf[c.amt[r]]
+}
+
+// ArchRegs snapshots the committed architectural register file.
+func (c *Core) ArchRegs() [isa.NumRegs]uint64 {
+	var out [isa.NumRegs]uint64
+	for r := 1; r < isa.NumRegs; r++ {
+		out[r] = c.prf[c.amt[r]]
+	}
+	return out
+}

@@ -130,6 +130,29 @@ func randomCFDProgram(seed int64) (*prog.Program, *mem.Memory) {
 	return b.MustBuild(), m
 }
 
+// FuzzCFDDifferential is the native-fuzzing entry to the same
+// differential net: each input is a generator seed, expanded into an
+// ISA-legal CFD program and cross-checked against the emulator under
+// both BQ miss policies. Run with
+//
+//	go test -run '^$' -fuzz FuzzCFDDifferential -fuzztime 30s ./internal/pipeline/
+//
+// The committed corpus under testdata/fuzz/FuzzCFDDifferential/ holds
+// seeds that exercise Mark/Forward bulk pops, VQ drains, and TQ inner
+// loops; those also run as plain subtests under go test.
+func FuzzCFDDifferential(f *testing.F) {
+	for seed := int64(100); seed < 110; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p, m := randomCFDProgram(seed)
+		runBoth(t, testConfig(), p, m)
+		stall := testConfig()
+		stall.BQMissPolicy = config.StallFetch
+		runBoth(t, stall, p, m)
+	})
+}
+
 // TestRandomCFDDifferentialStallPolicy reruns a few seeds under the
 // stall-on-miss policy (different fetch-unit path).
 func TestRandomCFDDifferentialStallPolicy(t *testing.T) {

@@ -12,6 +12,10 @@ type BTB struct {
 	ways    int
 	hits    uint64
 	misses  uint64
+	// clock is the per-instance LRU timestamp. It must not be shared
+	// across BTBs: cores simulate concurrently in the parallel harness,
+	// and only intra-core ordering matters for LRU.
+	clock uint64
 }
 
 type btbEntry struct {
@@ -34,16 +38,14 @@ func NewBTB(logSets, ways int) *BTB {
 	return b
 }
 
-var btbClock uint64
-
 // Lookup returns the cached taken-target for pc.
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
 	set := b.sets[pc&b.setMask]
 	tag := pc >> 1
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			btbClock++
-			set[i].lru = btbClock
+			b.clock++
+			set[i].lru = b.clock
 			b.hits++
 			return set[i].target, true
 		}
@@ -70,8 +72,8 @@ func (b *BTB) Insert(pc, target uint64) {
 			victim = i
 		}
 	}
-	btbClock++
-	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: btbClock}
+	b.clock++
+	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.clock}
 }
 
 // Stats returns hit and miss counts.
