@@ -9,6 +9,9 @@
 //	cfdbench -scale 0.2          # reduce workload sizes (1.0 = full)
 //	cfdbench -jobs 8             # simulation parallelism (default GOMAXPROCS)
 //	cfdbench -verify             # cross-check every run against the emulator
+//	cfdbench -json out.json      # export every run as schema-versioned JSON
+//	cfdbench -cpuprofile cpu.pb  # write a pprof CPU profile
+//	cfdbench -memprofile mem.pb  # write a pprof heap profile
 //
 // Each experiment submits all of its simulations up front and fans them
 // across -jobs workers, then assembles its rows serially — so the output
@@ -21,21 +24,40 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"cfd/internal/export"
 	"cfd/internal/harness"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment IDs (comma separated) or 'all'")
-		scale  = flag.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
-		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
-		verify = flag.Bool("verify", false, "differentially verify every run against the functional emulator")
-		list   = flag.Bool("list", false, "list experiments")
+		exp        = flag.String("exp", "all", "experiment IDs (comma separated) or 'all'")
+		scale      = flag.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		verify     = flag.Bool("verify", false, "differentially verify every run against the functional emulator")
+		list       = flag.Bool("list", false, "list experiments")
+		jsonPath   = flag.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.AllExperiments() {
@@ -61,16 +83,43 @@ func main() {
 	r := harness.NewRunner(*scale)
 	r.Jobs = *jobs
 	r.Verify = *verify
+	var records []export.Experiment
 	for _, e := range exps {
 		start := time.Now()
+		before := r.Metrics()
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "cfdbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fatalf("%s: %v", e.ID, err)
 		}
-		// Timing goes to stderr so stdout is a deterministic artifact:
-		// byte-identical for any -jobs value, diffable across runs.
-		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+		m := r.Metrics().Sub(before)
+		records = append(records, export.Experiment{ID: e.ID, Title: e.Title, Metrics: m})
+		// Timing and cache metrics go to stderr so stdout is a
+		// deterministic artifact: byte-identical for any -jobs value,
+		// diffable across runs.
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs: %d lookups, %d simulated, %d cache hits)\n",
+			e.ID, time.Since(start).Seconds(), m.Lookups, m.Simulations, m.CacheHits)
 		fmt.Println()
 	}
+
+	if *jsonPath != "" {
+		if err := export.WriteFile(*jsonPath, export.Build("cfdbench", r, records)); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("heap profile: %v", err)
+		}
+		f.Close()
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cfdbench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -5,7 +5,13 @@
 //
 //	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
 //	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
-//	       [-pipeview N] [-verify]
+//	       [-pipeview N] [-verify] [-json out.json]
+//
+// Besides the headline counters it prints the CPI stack: every simulated
+// cycle attributed to exactly one bucket (retiring, CFD instruction
+// overhead, fetch/BQ/TQ stalls, misprediction recovery split by the memory
+// level that fed the branch, memory stalls by service level, backend), so
+// the buckets sum exactly to the cycle count.
 package main
 
 import (
@@ -16,6 +22,9 @@ import (
 
 	"cfd/internal/config"
 	"cfd/internal/emu"
+	"cfd/internal/energy"
+	"cfd/internal/export"
+	"cfd/internal/harness"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
 )
@@ -33,6 +42,7 @@ func main() {
 		branches = flag.Bool("branches", false, "print per-static-branch statistics")
 		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
 		verify   = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
+		jsonPath = flag.String("json", "", "write the run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -104,6 +114,39 @@ func main() {
 		st.MispredByLevel[3], st.MispredByLevel[4])
 	fmt.Printf("energy          %.0f pJ total (%.0f dynamic, %.0f queue structures)\n",
 		core.Meter.Total(), core.Meter.Dynamic(), core.Meter.QueueEnergy())
+
+	fmt.Println()
+	if err := st.CPI.Check(st.Cycles); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(st.CPI.Render("CPI stack (cycle attribution)", st.Retired))
+
+	if *jsonPath != "" {
+		events := make(map[string]uint64)
+		for e := 0; e < energy.NumEvents; e++ {
+			if n := core.Meter.Counts[e]; n != 0 {
+				events[energy.Event(e).String()] = n
+			}
+		}
+		res := &harness.Result{
+			Spec:          harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant), Config: cfg},
+			Stats:         st,
+			EnergyTotal:   core.Meter.Total(),
+			EnergyDynamic: core.Meter.Dynamic(),
+			EnergyLeakage: core.Meter.Leakage(),
+			EnergyQueue:   core.Meter.QueueEnergy(),
+			EnergyEvents:  events,
+			MSHRHist:      core.Hierarchy().Hist,
+		}
+		doc := &export.Document{
+			Schema: export.Schema, Version: export.Version, Tool: "cfdsim",
+			Scale: 1, Verify: *verify,
+			Runs: []export.Run{export.FromResult(res)},
+		}
+		if err := export.WriteFile(*jsonPath, doc); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *branches {
 		fmt.Println("\nper-branch statistics (retired):")

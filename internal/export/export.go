@@ -1,0 +1,222 @@
+// Package export serializes benchmark results to a stable, schema-versioned
+// JSON document. The encoding is deterministic by construction — runs are
+// sorted by spec key, CPI buckets serialize in bucket order, maps rely on
+// encoding/json's sorted keys, and nothing time- or concurrency-dependent
+// (wall time, job counts) is included — so a document is byte-identical for
+// any -jobs setting and diffable across runs.
+//
+// Schema compatibility: Version bumps only on incompatible changes (field
+// removal or meaning change). Adding fields is compatible and does not bump
+// the version; consumers must ignore unknown fields.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cfd/internal/config"
+	"cfd/internal/harness"
+	"cfd/internal/stats"
+)
+
+// Schema identifies the document family; Version its revision.
+const (
+	Schema  = "cfd-results"
+	Version = 1
+)
+
+// Document is the top-level export: one tool invocation's results.
+type Document struct {
+	Schema  string  `json:"schema"`
+	Version int     `json:"version"`
+	Tool    string  `json:"tool"`  // "cfdbench" or "cfdsim"
+	Scale   float64 `json:"scale"` // workload size scale factor
+	Verify  bool    `json:"verify"`
+
+	// Experiments lists the harness experiments that produced the runs,
+	// with per-experiment Runner cache metrics (wall time is deliberately
+	// excluded: it is not deterministic; the CLIs report it on stderr).
+	Experiments []Experiment `json:"experiments,omitempty"`
+
+	// Runs holds every memoized simulation, sorted by spec key.
+	Runs []Run `json:"runs"`
+}
+
+// Experiment records one harness experiment execution.
+type Experiment struct {
+	ID      string          `json:"id"`
+	Title   string          `json:"title"`
+	Metrics harness.Metrics `json:"metrics"` // deltas for this experiment
+}
+
+// Run is one simulation: the identifying spec, the architected/microarch
+// counters, the CPI stack, and the energy accounting.
+type Run struct {
+	Workload   string      `json:"workload"`
+	Variant    string      `json:"variant"`
+	Config     config.Core `json:"config"`
+	PerfectAll bool        `json:"perfectAll,omitempty"`
+	PerfectCFD bool        `json:"perfectCFD,omitempty"`
+
+	Counters Counters       `json:"counters"`
+	CPIStack stats.CPIStack `json:"cpiStack"`
+	Energy   Energy         `json:"energy"`
+	MSHRHist []uint64       `json:"mshrHist,omitempty"`
+}
+
+// Counters is the exported subset of pipeline.Stats: every scalar counter,
+// with derived rates precomputed for convenience. Per-static-branch detail
+// stays internal (it is unbounded and workload-addressed).
+type Counters struct {
+	Cycles  uint64  `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	Fetched uint64  `json:"fetched"`
+	IPC     float64 `json:"ipc"`
+
+	CondBranches   uint64    `json:"condBranches"`
+	Mispredicts    uint64    `json:"mispredicts"`
+	MPKI           float64   `json:"mpki"`
+	MispredByLevel [5]uint64 `json:"mispredByLevel"` // NoData, L1, L2, L3, MEM
+	BTBMisfetches  uint64    `json:"btbMisfetches"`
+
+	BQPops            uint64 `json:"bqPops"`
+	BQResolvedAtFetch uint64 `json:"bqResolvedAtFetch"`
+	BQMisses          uint64 `json:"bqMisses"`
+	BQLateMispredict  uint64 `json:"bqLateMispredict"`
+	BQFullStalls      uint64 `json:"bqFullStalls"`
+	BQMissStalls      uint64 `json:"bqMissStalls"`
+	TQPops            uint64 `json:"tqPops"`
+	TQMissStalls      uint64 `json:"tqMissStalls"`
+	TCRBranches       uint64 `json:"tcrBranches"`
+
+	SquashedUops     uint64 `json:"squashedUops"`
+	Recoveries       uint64 `json:"recoveries"`
+	RetireRecoveries uint64 `json:"retireRecoveries"`
+}
+
+// Energy is the exported energy accounting: totals plus per-event access
+// counts (the McPAT-style inputs, so consumers can re-derive totals under
+// their own per-access model).
+type Energy struct {
+	Total   float64           `json:"total"`
+	Dynamic float64           `json:"dynamic"`
+	Leakage float64           `json:"leakage"`
+	Queue   float64           `json:"queue"` // BQ + VQ renamer + TQ dynamic
+	Events  map[string]uint64 `json:"events,omitempty"`
+}
+
+// FromResult converts one harness result to its export form. The MSHR
+// histogram is exported only when the spec sampled it — otherwise the
+// hierarchy's slot-indexed slice is an all-zero placeholder.
+func FromResult(res *harness.Result) Run {
+	st := &res.Stats
+	var hist []uint64
+	if res.Spec.SampleMSHR {
+		hist = res.MSHRHist
+	}
+	return Run{
+		Workload:   res.Spec.Workload,
+		Variant:    string(res.Spec.Variant),
+		Config:     res.Spec.Config,
+		PerfectAll: res.Spec.PerfectAll,
+		PerfectCFD: res.Spec.PerfectCFD,
+		Counters: Counters{
+			Cycles:  st.Cycles,
+			Retired: st.Retired,
+			Fetched: st.Fetched,
+			IPC:     st.IPC(),
+
+			CondBranches:   st.CondBranches,
+			Mispredicts:    st.Mispredicts,
+			MPKI:           st.MPKI(),
+			MispredByLevel: st.MispredByLevel,
+			BTBMisfetches:  st.BTBMisfetches,
+
+			BQPops:            st.BQPops,
+			BQResolvedAtFetch: st.BQResolvedAtFetch,
+			BQMisses:          st.BQMisses,
+			BQLateMispredict:  st.BQLateMispredict,
+			BQFullStalls:      st.BQFullStalls,
+			BQMissStalls:      st.BQMissStalls,
+			TQPops:            st.TQPops,
+			TQMissStalls:      st.TQMissStalls,
+			TCRBranches:       st.TCRBranches,
+
+			SquashedUops:     st.SquashedUops,
+			Recoveries:       st.Recoveries,
+			RetireRecoveries: st.RetireRecoveries,
+		},
+		CPIStack: st.CPI,
+		Energy: Energy{
+			Total:   res.EnergyTotal,
+			Dynamic: res.EnergyDynamic,
+			Leakage: res.EnergyLeakage,
+			Queue:   res.EnergyQueue,
+			Events:  res.EnergyEvents,
+		},
+		MSHRHist: hist,
+	}
+}
+
+// Build assembles a Document from the runner's memoized results (already
+// sorted by spec key) and the per-experiment records.
+func Build(tool string, r *harness.Runner, exps []Experiment) *Document {
+	doc := &Document{
+		Schema:      Schema,
+		Version:     Version,
+		Tool:        tool,
+		Scale:       r.Scale,
+		Verify:      r.Verify,
+		Experiments: exps,
+	}
+	for _, res := range r.Results() {
+		doc.Runs = append(doc.Runs, FromResult(res))
+	}
+	return doc
+}
+
+// Encode writes the document as indented JSON with a trailing newline.
+func Encode(w io.Writer, doc *Document) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the document to path ("-" = stdout).
+func WriteFile(path string, doc *Document) error {
+	if path == "-" {
+		return Encode(os.Stdout, doc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, doc); err != nil {
+		f.Close()
+		return fmt.Errorf("export: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Decode reads a document back, rejecting schema mismatches so consumers
+// fail loudly on drift.
+func Decode(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != Schema {
+		return nil, fmt.Errorf("export: schema %q, want %q", doc.Schema, Schema)
+	}
+	if doc.Version > Version {
+		return nil, fmt.Errorf("export: document version %d is newer than supported %d", doc.Version, Version)
+	}
+	return &doc, nil
+}

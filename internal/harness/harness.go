@@ -16,6 +16,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"cfd/internal/energy"
 
 	"cfd/internal/config"
 	"cfd/internal/emu"
@@ -45,6 +48,40 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	lookups     atomic.Uint64
+	simulations atomic.Uint64
+	cacheHits   atomic.Uint64
+}
+
+// Metrics is a snapshot of the Runner's cache counters. All three are
+// deterministic for a given experiment sequence — a duplicate spec counts
+// as a cache hit whether it joined an in-flight simulation or found a
+// finished one — so metric deltas are safe to include in exported output
+// that must be byte-identical across -jobs settings.
+type Metrics struct {
+	Lookups     uint64 `json:"lookups"`     // Run/RunCtx calls
+	Simulations uint64 `json:"simulations"` // cache misses that simulated
+	CacheHits   uint64 `json:"cacheHits"`   // lookups served by the cache
+}
+
+// Metrics returns the Runner's cumulative cache counters.
+func (r *Runner) Metrics() Metrics {
+	return Metrics{
+		Lookups:     r.lookups.Load(),
+		Simulations: r.simulations.Load(),
+		CacheHits:   r.cacheHits.Load(),
+	}
+}
+
+// Sub returns the counter deltas m - prev (e.g. per-experiment metrics from
+// before/after snapshots).
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Lookups:     m.Lookups - prev.Lookups,
+		Simulations: m.Simulations - prev.Simulations,
+		CacheHits:   m.CacheHits - prev.CacheHits,
+	}
 }
 
 // cacheEntry is the singleflight slot for one RunSpec key: the first
@@ -82,11 +119,16 @@ type RunSpec struct {
 
 // Result is the outcome of one run.
 type Result struct {
-	Spec        RunSpec
-	Stats       pipeline.Stats
-	EnergyTotal float64
-	EnergyQueue float64
-	MSHRHist    []uint64
+	Spec          RunSpec
+	Stats         pipeline.Stats
+	EnergyTotal   float64
+	EnergyDynamic float64
+	EnergyLeakage float64
+	EnergyQueue   float64
+	// EnergyEvents is the per-event access count, keyed by event name
+	// (zero-count events omitted).
+	EnergyEvents map[string]uint64
+	MSHRHist     []uint64
 }
 
 // Speedup returns base cycles over r's cycles; both runs must perform the
@@ -122,12 +164,14 @@ func (r *Runner) Run(rs RunSpec) (*Result, error) {
 // is done (the simulation itself runs to completion and stays memoized).
 func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 	key := rs.key()
+	r.lookups.Add(1)
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[string]*cacheEntry)
 	}
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		r.cacheHits.Add(1)
 		select {
 		case <-e.done:
 			return e.res, e.err
@@ -138,13 +182,55 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
+	r.simulations.Add(1)
 	e.res, e.err = r.simulate(rs)
 	close(e.done)
 	return e.res, e.err
 }
 
+// Results returns every successfully completed memoized result, sorted by
+// spec key. In-flight and failed entries are skipped, so the snapshot is a
+// pure function of which specs have finished — the stable iteration order
+// is what makes the JSON export byte-identical for any Jobs setting.
+func (r *Runner) Results() []*Result {
+	r.mu.Lock()
+	entries := make(map[string]*cacheEntry, len(r.cache))
+	for k, e := range r.cache {
+		entries[k] = e
+	}
+	r.mu.Unlock()
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Result, 0, len(keys))
+	for _, k := range keys {
+		e := entries[k]
+		select {
+		case <-e.done:
+			if e.err == nil && e.res != nil {
+				out = append(out, e.res)
+			}
+		default: // still simulating
+		}
+	}
+	return out
+}
+
+// Test hooks: set before any goroutines start and restored after they
+// finish, so tests can force specific interleavings (e.g. the sweep
+// cancellation race) deterministically. Nil in production.
+var (
+	testOnSimulate    func(RunSpec) // called at the top of simulate
+	testOnSweepCancel func()        // called after a failing spec cancels a sweep
+)
+
 // simulate performs the actual cycle-level run for rs (no caching).
 func (r *Runner) simulate(rs RunSpec) (*Result, error) {
+	if h := testOnSimulate; h != nil {
+		h(rs)
+	}
 	s, ok := workload.ByName(rs.Workload)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", rs.Workload)
@@ -200,12 +286,21 @@ func (r *Runner) simulate(rs RunSpec) (*Result, error) {
 				rs.Workload, rs.Variant, cfg.Name, err)
 		}
 	}
+	events := make(map[string]uint64)
+	for e := 0; e < energy.NumEvents; e++ {
+		if n := core.Meter.Counts[e]; n != 0 {
+			events[energy.Event(e).String()] = n
+		}
+	}
 	return &Result{
-		Spec:        rs,
-		Stats:       core.Stats,
-		EnergyTotal: core.Meter.Total(),
-		EnergyQueue: core.Meter.QueueEnergy(),
-		MSHRHist:    core.Hierarchy().Hist,
+		Spec:          rs,
+		Stats:         core.Stats,
+		EnergyTotal:   core.Meter.Total(),
+		EnergyDynamic: core.Meter.Dynamic(),
+		EnergyLeakage: core.Meter.Leakage(),
+		EnergyQueue:   core.Meter.QueueEnergy(),
+		EnergyEvents:  events,
+		MSHRHist:      core.Hierarchy().Hist,
 	}, nil
 }
 

@@ -54,6 +54,9 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 				if err != nil {
 					errs[i] = err
 					cancel()
+					if h := testOnSweepCancel; h != nil {
+						h()
+					}
 					continue
 				}
 				out[i] = res

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/workload"
+)
+
+// TestSweepCancellationErrorPriority forces the sweep cancellation race
+// deterministically: a real workload blocks in simulate while a duplicate
+// spec waits on its singleflight entry, then a bad spec at the highest
+// index fails and cancels the sweep. The waiter records context.Canceled at
+// a lower index than the real failure; Sweep must still report the real
+// error, not the cancellation artifact. (A Sweep that returns the first
+// error in index order regardless of kind fails this test.)
+func TestSweepCancellationErrorPriority(t *testing.T) {
+	const good = "bzip2like"
+	const bad = "no-such-workload"
+
+	xStarted := make(chan struct{}) // the good simulation has begun
+	canceled := make(chan struct{}) // the bad spec has canceled the sweep
+	release := make(chan struct{})  // lets the good simulation proceed
+
+	testOnSimulate = func(rs RunSpec) {
+		switch rs.Workload {
+		case good:
+			close(xStarted)
+			<-release
+		case bad:
+			// Don't fail until the good run is in flight, so its
+			// duplicate is guaranteed to be waiting (or about to wait)
+			// when the cancel lands.
+			<-xStarted
+		}
+	}
+	testOnSweepCancel = func() {
+		select {
+		case <-canceled:
+		default:
+			close(canceled)
+		}
+	}
+	defer func() {
+		testOnSimulate = nil
+		testOnSweepCancel = nil
+	}()
+
+	go func() {
+		<-canceled
+		close(release)
+	}()
+
+	r := NewRunner(0.02)
+	r.Jobs = 3
+	cfg := config.SandyBridge()
+	specs := []RunSpec{
+		{Workload: good, Variant: workload.Base, Config: cfg},
+		{Workload: good, Variant: workload.Base, Config: cfg}, // singleflight waiter
+		{Workload: bad, Variant: workload.Base, Config: cfg},  // real failure, highest index
+	}
+	_, err := r.Sweep(context.Background(), specs)
+	if err == nil {
+		t.Fatal("Sweep returned nil error despite a failing spec")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep reported the cancellation artifact instead of the real failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("Sweep error = %v, want the unknown-workload failure", err)
+	}
+}
+
+// TestSweepCallerCancellation: when the caller's own context is canceled
+// and no spec genuinely failed, Sweep must report the cancellation.
+func TestSweepCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(0.02)
+	r.Jobs = 2
+	cfg := config.SandyBridge()
+	specs := []RunSpec{
+		{Workload: "bzip2like", Variant: workload.Base, Config: cfg},
+		{Workload: "bzip2like", Variant: workload.CFD, Config: cfg},
+	}
+	if _, err := r.Sweep(ctx, specs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep under canceled caller context = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"cfd/internal/cache"
+	"cfd/internal/isa"
+	"cfd/internal/stats"
+)
+
+// Cycle attribution (CPI stack). Every simulated cycle is charged to
+// exactly one stats.CPIBucket, so the stack sums to Stats.Cycles by
+// construction. The classification is top-down, anchored at retirement:
+//
+//   - a cycle that retires instructions is CPIRetiring; CFD bookkeeping
+//     instructions accumulate a retire-slot debt, and every RetireWidth of
+//     them converts one retiring cycle into CPICFDOverhead (the cycles the
+//     added instructions consumed, amortized over retire bandwidth);
+//   - a lost cycle with an empty window is a front-end problem: a
+//     misprediction-recovery refill (split by the memory level that fed
+//     the branch, or the speculative-pop bucket for late-push
+//     disconfirmations), a BQ/TQ fetch stall, or generic I-supply;
+//   - a lost cycle with a non-empty window is a back-end problem: a
+//     memory stall when the oldest instruction is an issued load still
+//     waiting on the hierarchy (split by service level), else CPIBackend.
+
+// stallCause records why fetch stalled this cycle (reset every cycle).
+type stallCause uint8
+
+const (
+	stallNone stallCause = iota
+	stallBQFull
+	stallBQMiss
+	stallTQMiss
+)
+
+// recoverShadow tracks an in-progress misprediction recovery: lost
+// empty-window cycles are charged to it until the first instruction of the
+// corrected path (seq > anchor) retires.
+type recoverShadow struct {
+	active  bool
+	anchor  uint64 // seq of the recovering branch
+	level   cache.ServiceLevel
+	specPop bool // recovery initiated by a disconfirmed speculative pop
+}
+
+// noteRecovery opens (or re-anchors) the recovery shadow; the newest
+// recovery wins, since it is the one redirecting fetch.
+func (c *Core) noteRecovery(anchorSeq uint64, level cache.ServiceLevel, specPop bool) {
+	c.shadow = recoverShadow{active: true, anchor: anchorSeq, level: level, specPop: specPop}
+}
+
+// cfdOverheadOp reports whether op is CFD bookkeeping the transformation
+// added to the program — the push/mark/VQ-move/save-restore side. The pop
+// side (BranchBQ, BranchTCR, PopTQ) replaces original branches and is real
+// work.
+func cfdOverheadOp(op isa.Op) bool {
+	switch op {
+	case isa.PushBQ, isa.PushTQ, isa.PushVQ, isa.PopVQ, isa.MarkBQ, isa.ForwardBQ:
+		return true
+	}
+	return isCtxSwitch(op)
+}
+
+// attributeCycle charges the current cycle to its bucket. It runs once per
+// Cycle call, after every stage has acted, immediately before Stats.Cycles
+// is incremented.
+func (c *Core) attributeCycle() {
+	switch {
+	case c.cycRetired > 0:
+		c.ohDebt += c.cycOverhead
+		if c.ohDebt >= c.cfg.RetireWidth {
+			c.ohDebt -= c.cfg.RetireWidth
+			c.Stats.CPI.Add(stats.CPICFDOverhead)
+		} else {
+			c.Stats.CPI.Add(stats.CPIRetiring)
+		}
+
+	case c.robCount() == 0:
+		// Empty window: retirement is starved by the front end.
+		switch {
+		case c.shadow.active:
+			if c.shadow.specPop {
+				c.Stats.CPI.Add(stats.CPISpecPopRecovery)
+			} else {
+				c.Stats.CPI.Add(stats.CPIRecoverNoData + stats.CPIBucket(c.shadow.level))
+			}
+		case c.cycStall == stallBQFull, c.cycStall == stallBQMiss:
+			c.Stats.CPI.Add(stats.CPIBQStall)
+		case c.cycStall == stallTQMiss:
+			c.Stats.CPI.Add(stats.CPITQStall)
+		default:
+			c.Stats.CPI.Add(stats.CPIFetchStall)
+		}
+
+	default:
+		// Non-empty window: retirement is blocked by the oldest
+		// instruction.
+		u := c.robAt(c.robHead)
+		if u.isLoad && u.issued && !u.executed {
+			lvl := u.memLevel
+			if lvl < cache.L1 {
+				lvl = cache.L1
+			}
+			c.Stats.CPI.Add(stats.CPIMemL1 + stats.CPIBucket(lvl-cache.L1))
+		} else {
+			c.Stats.CPI.Add(stats.CPIBackend)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/stats"
+	"cfd/internal/workload"
+)
+
+// cpiN caps the per-run input size so the full matrix stays fast.
+const cpiN = 1200
+
+func runForCPI(t *testing.T, s *workload.Spec, v workload.Variant, cfg config.Core) *Core {
+	t.Helper()
+	n := s.TestN
+	if n > cpiN {
+		n = cpiN
+	}
+	p, m, err := s.Build(v, n)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	core, err := New(cfg, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return core
+}
+
+// TestCPIStackInvariantMatrix pins the hard CPI-stack invariant on the same
+// workload×variant matrix the emulator consistency tests use: every cycle
+// is attributed to exactly one bucket, so the buckets sum to Stats.Cycles;
+// and the misprediction-recovery buckets are consistent with the Fig 2a
+// memory-level attribution (recovery cycles at a level imply retired
+// mispredictions fed from that level).
+func TestCPIStackInvariantMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, s := range workload.All() {
+		for _, v := range s.Variants {
+			s, v := s, v
+			t.Run(s.Name+"/"+string(v), func(t *testing.T) {
+				t.Parallel()
+				core := runForCPI(t, s, v, config.SandyBridge())
+				st := &core.Stats
+				if err := st.CPI.Check(st.Cycles); err != nil {
+					t.Fatal(err)
+				}
+				if st.CPI.Buckets[stats.CPIRetiring] == 0 {
+					t.Error("no retiring cycles attributed")
+				}
+				// Fig 2a consistency: empty-window recovery cycles at a
+				// memory level require retired mispredictions attributed
+				// to that level (spec-pop recoveries have their own
+				// bucket and are checked against late mispredicts).
+				for lvl := 0; lvl <= 4; lvl++ {
+					if st.CPI.RecoveryCycles(lvl) > 0 && st.MispredByLevel[lvl] == 0 {
+						t.Errorf("recovery cycles at level %d but no mispredictions attributed there", lvl)
+					}
+				}
+				if st.CPI.Buckets[stats.CPISpecPopRecovery] > 0 && st.BQLateMispredict == 0 {
+					t.Error("spec-pop recovery cycles but no late BQ mispredictions")
+				}
+				if st.Mispredicts == 0 && st.BQLateMispredict == 0 {
+					var rec uint64
+					for lvl := 0; lvl <= 4; lvl++ {
+						rec += st.CPI.RecoveryCycles(lvl)
+					}
+					rec += st.CPI.Buckets[stats.CPISpecPopRecovery]
+					if rec != 0 {
+						t.Errorf("%d recovery cycles with zero mispredictions", rec)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCPIStackStallPolicies exercises the BQ-stall bucket (stall-fetch BQ
+// miss policy) and re-checks the invariant under both policies and a
+// scaled window.
+func TestCPIStackStallPolicies(t *testing.T) {
+	s, ok := workload.ByName("soplexlike")
+	if !ok {
+		t.Fatal("soplexlike not registered")
+	}
+	stall := config.SandyBridge()
+	stall.BQMissPolicy = config.StallFetch
+	for _, cfg := range []config.Core{config.SandyBridge(), stall, config.Scaled(384)} {
+		core := runForCPI(t, s, workload.CFD, cfg)
+		if err := core.Stats.CPI.Check(core.Stats.Cycles); err != nil {
+			t.Errorf("%s/%s: %v", cfg.Name, cfg.BQMissPolicy, err)
+		}
+	}
+}
+
+// TestCPIStackCFDOverheadAttribution checks that CFD variants, which retire
+// extra bookkeeping instructions, actually show cycles in the overhead
+// bucket on a workload where whole retire groups are pushes.
+func TestCPIStackCFDOverheadAttribution(t *testing.T) {
+	s, ok := workload.ByName("soplexlike")
+	if !ok {
+		t.Fatal("soplexlike not registered")
+	}
+	base := runForCPI(t, s, workload.Base, config.SandyBridge())
+	cfd := runForCPI(t, s, workload.CFD, config.SandyBridge())
+	if got := base.Stats.CPI.Buckets[stats.CPICFDOverhead]; got != 0 {
+		t.Errorf("base variant charged %d CFD-overhead cycles", got)
+	}
+	if cfd.Stats.CPI.Buckets[stats.CPICFDOverhead] == 0 {
+		t.Error("cfd variant shows no CFD-overhead cycles")
+	}
+}

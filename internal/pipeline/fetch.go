@@ -109,6 +109,7 @@ func (c *Core) fetch() error {
 				// Nothing pushed yet (TQ miss before any push, or a
 				// wrong path): stall like a TQ miss.
 				c.Stats.TQMissStalls++
+				c.cycStall = stallTQMiss
 				stall = true
 				break
 			}
@@ -117,6 +118,7 @@ func (c *Core) fetch() error {
 				// TQ miss: the chosen policy is to stall fetch until
 				// the push executes (§IV-C3).
 				c.Stats.TQMissStalls++
+				c.cycStall = stallTQMiss
 				stall = true
 				break
 			}
@@ -154,6 +156,7 @@ func (c *Core) fetch() error {
 				// Architectural BQ full: stall fetch until a pop
 				// retires (§III-C3).
 				c.Stats.BQFullStalls++
+				c.cycStall = stallBQFull
 				stall = true
 				break
 			}
@@ -166,6 +169,7 @@ func (c *Core) fetch() error {
 		case op == isa.PushTQ:
 			if c.tq.length() >= c.tq.size {
 				c.Stats.BQFullStalls++
+				c.cycStall = stallTQMiss
 				stall = true
 				break
 			}
@@ -277,6 +281,7 @@ func (c *Core) fetchBranchBQ(u *uop) (next uint64, stall bool) {
 func (c *Core) bqMiss(u *uop) (next uint64, stall bool) {
 	if c.cfg.BQMissPolicy == config.StallFetch {
 		c.Stats.BQMissStalls++
+		c.cycStall = stallBQMiss
 		return 0, true
 	}
 	// Speculative pop: predict the predicate with the branch predictor and

@@ -391,6 +391,7 @@ func (c *Core) resolveBranch(u *uop, pos uint64) {
 			c.pred.OnFetchOutcome(u.pc, u.actTaken)
 		}
 		c.recoverAfter(u.seq, newPC)
+		c.noteRecovery(u.seq, u.srcLevel, u.specPop)
 		c.Meter.Add(energy.CkptRestore, 1)
 		if c.cfg.CkptOoOReclaim {
 			c.usedCkpts--
@@ -473,6 +474,7 @@ func (c *Core) lateRecover(e *bqEntryHW, pred bool) {
 	c.pred.Restore(pop.hist)
 	c.pred.OnFetchOutcome(pop.pc, pred)
 	c.recoverAfter(pop.seq, newPC)
+	c.noteRecovery(pop.seq, e.srcLevel, true)
 	c.Meter.Add(energy.CkptRestore, 1)
 	if pop.hasCkpt {
 		c.usedCkpts--

@@ -29,6 +29,7 @@ import (
 	"cfd/internal/mem"
 	"cfd/internal/predictor"
 	"cfd/internal/prog"
+	"cfd/internal/stats"
 )
 
 // ErrLimit is returned by Run when the retired-instruction budget is
@@ -206,6 +207,10 @@ type Stats struct {
 
 	// Per-static-branch stats (retired conditional branches).
 	PerBranch map[uint64]*BranchStat
+
+	// CPI is the cycle-attribution stack: every cycle is charged to
+	// exactly one bucket, so CPI.Total() == Cycles (see cpi.go).
+	CPI stats.CPIStack
 }
 
 // BranchStat is per-static-branch retirement statistics.
@@ -291,6 +296,13 @@ type Core struct {
 	done            bool
 	lastRetireCycle uint64
 	trace           *tracer
+
+	// Cycle-attribution state (see cpi.go).
+	cycRetired  int        // instructions retired this cycle
+	cycOverhead int        // CFD bookkeeping instructions retired this cycle
+	ohDebt      int        // accumulated bookkeeping retire slots
+	cycStall    stallCause // why fetch stalled this cycle
+	shadow      recoverShadow
 
 	Stats Stats
 	Meter *energy.Meter
@@ -409,6 +421,9 @@ func New(cfg config.Core, p *prog.Program, m *mem.Memory, opts ...Option) (*Core
 // Cycle runs one clock cycle.
 func (c *Core) Cycle() error {
 	c.hier.Tick(c.now)
+	c.cycRetired = 0
+	c.cycOverhead = 0
+	c.cycStall = stallNone
 	if err := c.retire(); err != nil {
 		return err
 	}
@@ -420,6 +435,7 @@ func (c *Core) Cycle() error {
 	if err := c.fetch(); err != nil {
 		return err
 	}
+	c.attributeCycle()
 	c.now++
 	c.Stats.Cycles++
 	c.Meter.AddCycles(1)

@@ -32,6 +32,7 @@ func (c *Core) retire() error {
 				c.pred.OnFetchOutcome(u.pc, u.actTaken)
 			}
 			c.recoverAfter(u.seq, newPC)
+			c.noteRecovery(u.seq, u.srcLevel, u.specPop)
 			c.Meter.Add(energy.CkptRestore, 1)
 			u.recovered = true
 		}
@@ -120,6 +121,15 @@ func (c *Core) retire() error {
 		c.traceRecord(u)
 		c.Meter.Add(energy.Retire, 1)
 		c.Stats.Retired++
+		c.cycRetired++
+		if cfdOverheadOp(op) {
+			c.cycOverhead++
+		}
+		if c.shadow.active && u.seq > c.shadow.anchor {
+			// The corrected path has reached retirement: the recovery
+			// refill is over.
+			c.shadow.active = false
+		}
 		c.lastRetireCycle = c.now
 		c.robHead++
 		if c.done {

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CPIBucket identifies one cycle-attribution bucket of a CPIStack. Every
+// simulated cycle is charged to exactly one bucket, so the buckets sum to
+// the run's total cycles (the classic top-down CPI-stack invariant).
+type CPIBucket int
+
+// Buckets. The order is the rendering and serialization order.
+const (
+	// CPIRetiring: at least one non-overhead instruction retired.
+	CPIRetiring CPIBucket = iota
+	// CPICFDOverhead: retiring cycles consumed by CFD bookkeeping
+	// instructions (pushes, marks, VQ moves, queue save/restore) — the
+	// instruction overhead CFD adds to the program, amortized over retire
+	// bandwidth: every RetireWidth bookkeeping retirements convert one
+	// retiring cycle into this bucket.
+	CPICFDOverhead
+	// CPIFetchStall: the window was empty and the front end was filling
+	// (pipeline depth, BTB misfetch repair, fetch redirect bubbles).
+	CPIFetchStall
+	// CPIBQStall: the window was empty and fetch was stalled by the BQ —
+	// an architecturally full BQ on a push, or a BQ miss under the
+	// stall-fetch policy (§III-C2/C3).
+	CPIBQStall
+	// CPITQStall: the window was empty and fetch was stalled on a TQ miss.
+	CPITQStall
+	// CPISpecPopRecovery: empty-window refill cycles after a late push
+	// disconfirmed a speculative BQ pop (§III-C2) — the cost of the
+	// speculative-pop policy.
+	CPISpecPopRecovery
+	// CPIRecoverNoData..CPIRecoverMEM: empty-window refill cycles after an
+	// ordinary branch/JR misprediction recovery, split by the furthest
+	// memory level that fed the branch (the Fig 2a attribution).
+	CPIRecoverNoData
+	CPIRecoverL1
+	CPIRecoverL2
+	CPIRecoverL3
+	CPIRecoverMEM
+	// CPIMemL1..CPIMemDRAM: no retirement because the oldest instruction
+	// was an issued load still waiting on the memory hierarchy, split by
+	// the level that services it.
+	CPIMemL1
+	CPIMemL2
+	CPIMemL3
+	CPIMemDRAM
+	// CPIBackend: every other lost cycle — dependency chains, execution
+	// latency, structural hazards with a non-empty window.
+	CPIBackend
+
+	NumCPIBuckets
+)
+
+var cpiBucketNames = [NumCPIBuckets]string{
+	"retiring", "cfd-overhead", "fetch-stall", "bq-stall", "tq-stall",
+	"specpop-recovery", "recover-nodata", "recover-l1", "recover-l2",
+	"recover-l3", "recover-mem", "mem-l1", "mem-l2", "mem-l3", "mem-dram",
+	"backend",
+}
+
+// String returns the bucket's stable name (also its JSON key).
+func (b CPIBucket) String() string {
+	if b >= 0 && b < NumCPIBuckets {
+		return cpiBucketNames[b]
+	}
+	return fmt.Sprintf("bucket(%d)", int(b))
+}
+
+// CPIStack is a cycle-attribution stack: one counter per bucket. The zero
+// value is ready to use.
+type CPIStack struct {
+	Buckets [NumCPIBuckets]uint64
+}
+
+// Add charges one cycle to bucket b.
+func (s *CPIStack) Add(b CPIBucket) { s.Buckets[b]++ }
+
+// Total returns the number of attributed cycles.
+func (s *CPIStack) Total() uint64 {
+	var t uint64
+	for _, v := range s.Buckets {
+		t += v
+	}
+	return t
+}
+
+// RecoveryCycles returns the cycles attributed to misprediction recovery at
+// the given memory-level index (0 = NoData .. 4 = MEM, mirroring the
+// pipeline's MispredByLevel indexing).
+func (s *CPIStack) RecoveryCycles(level int) uint64 {
+	if level < 0 || level > 4 {
+		return 0
+	}
+	return s.Buckets[CPIRecoverNoData+CPIBucket(level)]
+}
+
+// Check verifies the CPI-stack invariant: the buckets must sum exactly to
+// cycles.
+func (s *CPIStack) Check(cycles uint64) error {
+	if t := s.Total(); t != cycles {
+		return fmt.Errorf("stats: CPI stack sums to %d cycles, run took %d", t, cycles)
+	}
+	return nil
+}
+
+// Render formats the stack as a table of cycles, cycle share, and CPI
+// contribution (bucket cycles per retired instruction). Zero buckets are
+// omitted; the total row pins the invariant in the output.
+func (s *CPIStack) Render(title string, retired uint64) string {
+	total := s.Total()
+	t := NewTable(title, "bucket", "cycles", "share", "CPI")
+	cpi := func(v uint64) string {
+		if retired == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.4f", float64(v)/float64(retired))
+	}
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		v := s.Buckets[b]
+		if v == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(v) / float64(total)
+		}
+		t.Add(b.String(), fmt.Sprint(v), Share(share), cpi(v))
+	}
+	totShare := Share(0)
+	if total > 0 {
+		totShare = Share(1)
+	}
+	t.Add("total", fmt.Sprint(total), totShare, cpi(total))
+	return strings.TrimSuffix(t.String(), "\n")
+}
+
+// MarshalJSON serializes the stack as an object keyed by bucket name, in
+// bucket order (encoding/json preserves struct-driven ordering only for
+// hand-built objects, so the object is assembled explicitly to keep the
+// export byte-stable).
+func (s CPIStack) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i := CPIBucket(0); i < NumCPIBuckets; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", i.String(), s.Buckets[i])
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON decodes the named-bucket object form. Unknown bucket names
+// are rejected so schema drift fails loudly.
+func (s *CPIStack) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*s = CPIStack{}
+	for name, v := range m {
+		found := false
+		for i := CPIBucket(0); i < NumCPIBuckets; i++ {
+			if i.String() == name {
+				s.Buckets[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("stats: unknown CPI bucket %q", name)
+		}
+	}
+	return nil
+}

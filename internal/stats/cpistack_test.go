@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCPIBucketNames(t *testing.T) {
+	seen := map[string]bool{}
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		n := b.String()
+		if n == "" || strings.HasPrefix(n, "bucket(") {
+			t.Errorf("bucket %d has no name", b)
+		}
+		if seen[n] {
+			t.Errorf("duplicate bucket name %q", n)
+		}
+		seen[n] = true
+	}
+	if got := CPIBucket(NumCPIBuckets).String(); !strings.HasPrefix(got, "bucket(") {
+		t.Errorf("out-of-range bucket name = %q", got)
+	}
+}
+
+func TestCPIStackCheck(t *testing.T) {
+	var s CPIStack
+	s.Add(CPIRetiring)
+	s.Add(CPIRetiring)
+	s.Add(CPIBackend)
+	if err := s.Check(3); err != nil {
+		t.Errorf("Check(3) = %v, want nil", err)
+	}
+	if err := s.Check(4); err == nil {
+		t.Error("Check(4) on a 3-cycle stack did not fail")
+	}
+	if s.Total() != 3 {
+		t.Errorf("Total = %d, want 3", s.Total())
+	}
+}
+
+func TestCPIStackRecoveryCycles(t *testing.T) {
+	var s CPIStack
+	s.Add(CPIRecoverL2)
+	s.Add(CPIRecoverL2)
+	s.Add(CPIRecoverNoData)
+	if got := s.RecoveryCycles(2); got != 2 {
+		t.Errorf("RecoveryCycles(2) = %d, want 2", got)
+	}
+	if got := s.RecoveryCycles(0); got != 1 {
+		t.Errorf("RecoveryCycles(0) = %d, want 1", got)
+	}
+	if got := s.RecoveryCycles(5); got != 0 {
+		t.Errorf("RecoveryCycles(5) = %d, want 0", got)
+	}
+	if got := s.RecoveryCycles(-1); got != 0 {
+		t.Errorf("RecoveryCycles(-1) = %d, want 0", got)
+	}
+}
+
+func TestCPIStackRender(t *testing.T) {
+	var s CPIStack
+	s.Buckets[CPIRetiring] = 60
+	s.Buckets[CPIMemDRAM] = 40
+	out := s.Render("cpi", 100)
+	if !strings.Contains(out, "retiring") || !strings.Contains(out, "mem-dram") {
+		t.Errorf("missing buckets:\n%s", out)
+	}
+	if strings.Contains(out, "backend") {
+		t.Errorf("zero bucket rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "100") {
+		t.Errorf("missing total row:\n%s", out)
+	}
+	// Zero-retired render must not divide by zero.
+	if out := (&CPIStack{}).Render("empty", 0); !strings.Contains(out, "total") {
+		t.Errorf("empty render missing total:\n%s", out)
+	}
+}
+
+func TestCPIStackJSONRoundTrip(t *testing.T) {
+	var s CPIStack
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		s.Buckets[b] = uint64(b) * 7
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys appear in bucket order so the export is byte-stable.
+	prev := -1
+	for b := CPIBucket(0); b < NumCPIBuckets; b++ {
+		i := strings.Index(string(data), `"`+b.String()+`"`)
+		if i < 0 {
+			t.Fatalf("bucket %q missing from JSON: %s", b, data)
+		}
+		if i < prev {
+			t.Errorf("bucket %q out of order in JSON", b)
+		}
+		prev = i
+	}
+	var got CPIStack
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, s)
+	}
+}
+
+func TestCPIStackJSONUnknownBucket(t *testing.T) {
+	var s CPIStack
+	if err := json.Unmarshal([]byte(`{"no-such-bucket":1}`), &s); err == nil {
+		t.Error("unknown bucket name accepted")
+	}
+}

@@ -4,6 +4,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -19,15 +20,16 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// Add appends a row; cells beyond the column count are dropped, missing
-// cells render empty.
+// Add appends a row. Missing cells render empty; a row with more cells
+// than columns is a programmer error (it would silently drop data from a
+// paper table) and panics.
 func (t *Table) Add(cells ...string) {
-	row := make([]string, len(t.Columns))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("stats: table %q row has %d cells for %d columns: %q",
+			t.Title, len(cells), len(t.Columns), cells))
 	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
 	t.Rows = append(t.Rows, row)
 }
 
@@ -116,7 +118,15 @@ func Histogram(title string, labels []string, values []uint64) string {
 	for i, v := range values {
 		bar := 0
 		if max > 0 {
-			bar = int(v * 40 / max)
+			// 128-bit scaling: v*40 overflows uint64 for large counters.
+			hi, lo := bits.Mul64(v, 40)
+			bar64, _ := bits.Div64(hi, lo, max)
+			bar = int(bar64)
+			if v > 0 && bar == 0 {
+				// A nonzero bucket must be distinguishable from an
+				// empty one.
+				bar = 1
+			}
 		}
 		share := 0.0
 		if total > 0 {

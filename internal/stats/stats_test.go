@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -26,14 +27,27 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
-func TestTableMissingAndExtraCells(t *testing.T) {
+func TestTableMissingCellsPad(t *testing.T) {
 	tab := NewTable("", "a", "b")
 	tab.Add("only")
-	tab.Add("x", "y", "dropped")
-	out := tab.String()
-	if strings.Contains(out, "dropped") {
-		t.Error("extra cell not dropped")
+	if got := len(tab.Rows[0]); got != 2 {
+		t.Errorf("short row padded to %d cells, want 2", got)
 	}
+	_ = tab.String() // must render without panicking
+}
+
+func TestTableExtraCellsPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add with more cells than columns did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "3 cells for 2 columns") {
+			t.Errorf("panic message %q lacks cell/column counts", msg)
+		}
+	}()
+	tab := NewTable("demo", "a", "b")
+	tab.Add("x", "y", "dropped")
 }
 
 func TestFormatters(t *testing.T) {
@@ -61,4 +75,39 @@ func TestHistogram(t *testing.T) {
 	}
 	// Empty histogram must not panic.
 	_ = Histogram("e", nil, []uint64{0, 0})
+}
+
+func TestHistogramSmallBucketVisible(t *testing.T) {
+	// 1 out of 1e6: v*40/max rounds to 0, but a nonzero bucket must still
+	// render at least one bar character.
+	out := Histogram("h", []string{"tiny", "big"}, []uint64{1, 1_000_000})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("nonzero bucket rendered with zero-width bar: %q", lines[1])
+	}
+	// A zero bucket stays empty.
+	out = Histogram("h", []string{"z", "big"}, []uint64{0, 10})
+	lines = strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("zero bucket rendered with a bar: %q", lines[1])
+	}
+}
+
+func TestHistogramOverflowSafe(t *testing.T) {
+	// v*40 overflows uint64 for v > 2^64/40; the bar math must survive and
+	// still scale proportionally.
+	big := uint64(1) << 62 // big*40 >> 2^64
+	out := Histogram("h", []string{"half", "full"}, []uint64{big / 2, big})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	half := strings.Count(lines[1], "#")
+	full := strings.Count(lines[2], "#")
+	if full != 40 {
+		t.Errorf("max bucket bar = %d, want 40", full)
+	}
+	if half != 20 {
+		t.Errorf("half bucket bar = %d, want 20", half)
+	}
 }
