@@ -10,6 +10,9 @@
 //	cfdbench -jobs 8             # simulation parallelism (default GOMAXPROCS)
 //	cfdbench -verify             # cross-check every run against the emulator
 //	cfdbench -json out.json      # export every run as schema-versioned JSON
+//	cfdbench -keep-going         # run every simulation even when some fault
+//	cfdbench -max-cycles N       # per-run watchdog cycle budget
+//	cfdbench -deadline 5m        # per-run watchdog wall-clock deadline
 //	cfdbench -cpuprofile cpu.pb  # write a pprof CPU profile
 //	cfdbench -memprofile mem.pb  # write a pprof heap profile
 //
@@ -42,6 +45,10 @@ func main() {
 		jsonPath   = flag.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+
+		keepGoing = flag.Bool("keep-going", false, "complete every simulation even when some fail; failures land in the JSON faults section")
+		maxCycles = flag.Uint64("max-cycles", 0, "per-run watchdog cycle budget (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "per-run watchdog wall-clock deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -83,13 +90,23 @@ func main() {
 	r := harness.NewRunner(*scale)
 	r.Jobs = *jobs
 	r.Verify = *verify
+	r.KeepGoing = *keepGoing
+	r.MaxCycles = *maxCycles
+	r.RunTimeout = *deadline
 	var records []export.Experiment
+	failedExps := 0
 	for _, e := range exps {
 		start := time.Now()
 		before := r.Metrics()
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, os.Stdout); err != nil {
-			fatalf("%s: %v", e.ID, err)
+			if !*keepGoing {
+				fatalf("%s: %v", e.ID, err)
+			}
+			// Keep-going mode: the failed run is memoized as a fault and
+			// exported; the remaining experiments still execute.
+			failedExps++
+			fmt.Fprintf(os.Stderr, "cfdbench: %s: %v (continuing)\n", e.ID, err)
 		}
 		m := r.Metrics().Sub(before)
 		records = append(records, export.Experiment{ID: e.ID, Title: e.Title, Metrics: m})
@@ -116,6 +133,9 @@ func main() {
 			fatalf("heap profile: %v", err)
 		}
 		f.Close()
+	}
+	if failedExps > 0 {
+		fatalf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
 	}
 }
 

@@ -6,6 +6,20 @@
 //	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
 //	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
 //	       [-pipeview N] [-verify] [-json out.json]
+//	       [-max-cycles N] [-deadline 30s]
+//	cfdsim -inject 200 [-seed 1] [-json report.json]
+//
+// -max-cycles and -deadline arm a watchdog on the simulation: when the
+// cycle budget or wall-clock deadline expires, the run stops with a typed
+// watchdog fault and a machine-state dump instead of hanging. A run that
+// ends in a fault still writes the -json document, with the fault recorded
+// in its faults section.
+//
+// -inject runs a seeded fault-injection campaign instead of a simulation:
+// N corruptions of live architectural queue state and save/restore images,
+// each of which must be caught by a typed fault, a watchdog, or the
+// golden-model differential check. The exit status is nonzero if any
+// injection goes undetected.
 //
 // Besides the headline counters it prints the CPI stack: every simulated
 // cycle attributed to exactly one bucket (retiring, CFD instruction
@@ -15,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +39,8 @@ import (
 	"cfd/internal/emu"
 	"cfd/internal/energy"
 	"cfd/internal/export"
+	"cfd/internal/fault"
+	"cfd/internal/faultinject"
 	"cfd/internal/harness"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
@@ -43,8 +60,18 @@ func main() {
 		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
 		verify   = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
 		jsonPath = flag.String("json", "", "write the run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+
+		maxCycles = flag.Uint64("max-cycles", 0, "watchdog cycle budget for the run (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "watchdog wall-clock deadline for the run (0 = none)")
+		inject    = flag.Int("inject", 0, "run a fault-injection campaign of N corruptions instead of a simulation")
+		seed      = flag.Int64("seed", 1, "fault-injection campaign seed")
 	)
 	flag.Parse()
+
+	if *inject > 0 {
+		runCampaign(*inject, *seed, *jsonPath)
+		return
+	}
 
 	if *list {
 		for _, s := range workload.All() {
@@ -78,6 +105,9 @@ func main() {
 	if *pipeview > 0 {
 		popts = append(popts, pipeline.WithTrace(*pipeview))
 	}
+	if *maxCycles > 0 || *deadline > 0 {
+		popts = append(popts, pipeline.WithWatchdog(fault.WithTimeout(*maxCycles, *deadline)))
+	}
 	var init = m
 	if *verify {
 		init = m.Clone()
@@ -87,6 +117,23 @@ func main() {
 		fatalf("%v", err)
 	}
 	if err := core.Run(0); err != nil {
+		// A faulting run still produces the JSON document, with the
+		// failure recorded as a structured fault.
+		if *jsonPath != "" {
+			spec := harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant), Config: cfg}
+			doc := &export.Document{
+				Schema: export.Schema, Version: export.Version, Tool: "cfdsim",
+				Scale: 1, Verify: *verify,
+				Faults: []export.FaultRecord{export.FromFailure(harness.Failure{Spec: spec, Err: err})},
+			}
+			if werr := export.WriteFile(*jsonPath, doc); werr != nil {
+				fmt.Fprintf(os.Stderr, "cfdsim: %v\n", werr)
+			}
+		}
+		if f, ok := fault.As(err); ok {
+			fmt.Fprint(os.Stderr, f.Dump())
+			os.Exit(1)
+		}
 		fatalf("%v", err)
 	}
 	if *verify {
@@ -172,6 +219,48 @@ func main() {
 	if *pipeview > 0 {
 		fmt.Println()
 		fmt.Print(core.Pipeview())
+	}
+}
+
+// runCampaign executes the seeded fault-injection campaign, prints the
+// summary, optionally writes the cfd-faultinject JSON report, and exits
+// nonzero when any injection went undetected.
+func runCampaign(n int, seed int64, jsonPath string) {
+	rep, err := faultinject.Run(faultinject.Config{Seed: seed, Injections: n})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("fault injection  seed %d: %d injected, %d detected, %d missed (%d draws skipped)\n",
+		rep.Seed, rep.Injected, rep.Detected, rep.Missed, rep.Skipped)
+	for _, site := range faultinject.AllSites {
+		if st := rep.BySite[site]; st != nil {
+			fmt.Printf("  %-12s injected %4d  detected %4d  missed %4d\n",
+				site, st.Injected, st.Detected, st.Missed)
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if rep.Missed > 0 {
+		for _, tr := range rep.Trials {
+			if tr.Outcome == faultinject.OutcomeMissed {
+				fmt.Fprintf(os.Stderr, "cfdsim: MISSED %s on %s at step %d: %s\n",
+					tr.Site, tr.Victim, tr.Step, tr.Detail)
+			}
+		}
+		os.Exit(1)
+	}
+	if rep.Injected < n {
+		fatalf("only %d of %d requested injections applied", rep.Injected, n)
 	}
 }
 

@@ -1,0 +1,73 @@
+package core
+
+// This file holds the state-corruption hooks used by the fault-injection
+// campaign (package faultinject). The Inject* methods model soft errors in
+// the architectural queue storage: they flip live state underneath the ISA
+// interface, bypassing the push/pop ordering rules, so the campaign can
+// assert that the runtime's typed faults, watchdogs, and differential
+// checks catch every corruption. Entry index 0 is the head (oldest); every
+// method reports whether it actually mutated state, and refuses indices
+// that are not live so an injection is never silently a no-op.
+
+// Marked reports whether the queue has an active Mark (the Forward target).
+func (q *fifo[T]) Marked() bool { return q.marked }
+
+// Counters returns the cumulative architectural push and pop counts. They
+// are monotonic between Resets; Restore resets them with the rest of the
+// state.
+func (q *fifo[T]) Counters() (pushes, pops uint64) { return q.pushes, q.pops }
+
+// InjectClearMark clears the mark state, modeling a corrupted mark
+// register. It reports false when no mark was set.
+func (q *fifo[T]) InjectClearMark() bool {
+	if !q.marked {
+		return false
+	}
+	q.marked = false
+	return true
+}
+
+// InjectFlipPred flips the predicate of live entry i.
+func (q *BQ) InjectFlipPred(i int) bool {
+	if i < 0 || i >= len(q.entries) {
+		return false
+	}
+	q.entries[i] = !q.entries[i]
+	return true
+}
+
+// InjectFlipBit flips one bit of the value in live entry i.
+func (q *VQ) InjectFlipBit(i int, bit uint) bool {
+	if i < 0 || i >= len(q.entries) {
+		return false
+	}
+	q.entries[i] ^= 1 << (bit & 63)
+	return true
+}
+
+// InjectFlipCountBit flips one trip-count bit of live entry i. Overflow
+// entries store no count, so they are refused.
+func (q *TQ) InjectFlipCountBit(i int, bit uint) bool {
+	if i < 0 || i >= len(q.entries) || q.entries[i].Overflow {
+		return false
+	}
+	q.entries[i].Count ^= 1 << (bit % TQWidth)
+	return true
+}
+
+// InjectFlipOverflow flips the overflow bit of live entry i.
+func (q *TQ) InjectFlipOverflow(i int) bool {
+	if i < 0 || i >= len(q.entries) {
+		return false
+	}
+	q.entries[i].Overflow = !q.entries[i].Overflow
+	return true
+}
+
+// EntryAt returns live entry i of the TQ without popping it.
+func (q *TQ) EntryAt(i int) (TQEntry, bool) {
+	if i < 0 || i >= len(q.entries) {
+		return TQEntry{}, false
+	}
+	return q.entries[i], true
+}

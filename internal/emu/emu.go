@@ -7,10 +7,12 @@
 package emu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"cfd/internal/core"
+	"cfd/internal/fault"
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
@@ -58,6 +60,8 @@ type Machine struct {
 	Retired uint64
 
 	tracer Tracer
+	wd     *fault.Watchdog
+	diag   retRing
 }
 
 // Option configures a Machine.
@@ -75,6 +79,13 @@ func WithQueueSizes(bq, vq, tq int) Option {
 // WithTracer registers a retirement observer.
 func WithTracer(t Tracer) Option {
 	return func(m *Machine) { m.tracer = t }
+}
+
+// WithWatchdog bounds Run with an instruction budget and/or wall-clock
+// deadline; expiry surfaces as a fault.WatchdogExpiry fault carrying a
+// machine-state snapshot.
+func WithWatchdog(w *fault.Watchdog) Option {
+	return func(m *Machine) { m.wd = w }
 }
 
 // New returns a Machine ready to execute p against memory mm (which the
@@ -110,8 +121,9 @@ func (m *Machine) setReg(r isa.Reg, v uint64) {
 	}
 }
 
-// Step executes one instruction. It returns an error on ISA violations
-// (queue ordering rule breaks, undefined opcodes); the machine is left
+// Step executes one instruction. ISA violations — queue ordering rule
+// breaks, undefined opcodes, malformed save/restore images — return a typed
+// *fault.Fault carrying a machine-state snapshot; the machine is left
 // halted in that case.
 func (m *Machine) Step() error {
 	if m.Halted {
@@ -122,9 +134,18 @@ func (m *Machine) Step() error {
 	next := pc + 1
 	ev := Event{PC: pc, Inst: in}
 
-	fail := func(err error) error {
+	failKind := func(kind fault.Kind, err error) error {
 		m.Halted = true
-		return fmt.Errorf("emu: pc %d (%s): %w", pc, in, err)
+		return fault.Wrap(kind, fmt.Errorf("emu: pc %d (%s): %w", pc, in, err), m.snapshot(pc))
+	}
+	// fail classifies the common case: ordering-rule violations are queue
+	// faults, anything else at an executing instruction is illegal use.
+	fail := func(err error) error {
+		var v *core.ViolationError
+		if errors.As(err, &v) {
+			return failKind(fault.QueueViolation, err)
+		}
+		return failKind(fault.IllegalInstruction, err)
 	}
 
 	a := m.reg(in.Rs1)
@@ -276,7 +297,10 @@ func (m *Machine) Step() error {
 			return fail(err)
 		}
 		if e.Overflow {
-			return fail(errors.New("PopTQ of overflowed entry (use pop_tq_ov)"))
+			return fail(&core.ViolationError{
+				Queue: "TQ", Op: "pop_tq",
+				Why: "entry overflow bit set (program must use pop_tq_ov)",
+			})
 		}
 		m.TCR = uint64(e.Count)
 	case isa.PopTQOV:
@@ -306,7 +330,7 @@ func (m *Machine) Step() error {
 		img := make([]byte, m.BQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.BQ.Restore(img); err != nil {
-			return fail(err)
+			return failKind(fault.BadMemoryAccess, err)
 		}
 	case isa.SaveVQ:
 		m.Mem.StoreBytes(a+uint64(in.Imm), m.VQ.Save())
@@ -314,7 +338,7 @@ func (m *Machine) Step() error {
 		img := make([]byte, m.VQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.VQ.Restore(img); err != nil {
-			return fail(err)
+			return failKind(fault.BadMemoryAccess, err)
 		}
 	case isa.SaveTQ:
 		m.Mem.StoreBytes(a+uint64(in.Imm), m.TQ.Save())
@@ -322,7 +346,7 @@ func (m *Machine) Step() error {
 		img := make([]byte, m.TQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.TQ.Restore(img); err != nil {
-			return fail(err)
+			return failKind(fault.BadMemoryAccess, err)
 		}
 
 	default:
@@ -331,6 +355,7 @@ func (m *Machine) Step() error {
 
 	m.PC = next
 	m.Retired++
+	m.diag.record(pc, in)
 	if m.tracer != nil {
 		ev.NextPC = next
 		m.tracer.Retire(ev)
@@ -341,9 +366,31 @@ func (m *Machine) Step() error {
 // Run executes until HALT, an error, or limit instructions (0 means no
 // limit). It returns ErrLimit when the budget runs out first.
 func (m *Machine) Run(limit uint64) error {
+	return m.RunCtx(context.Background(), limit)
+}
+
+// RunCtx is Run with cancellation and watchdog supervision: the machine's
+// watchdog (WithWatchdog) and the caller's context both bound the run, and
+// expiry returns a fault.WatchdogExpiry fault with a state snapshot. The
+// watchdog's MaxCycles counts retired instructions — the emulator's clock.
+func (m *Machine) RunCtx(ctx context.Context, limit uint64) error {
+	wd := m.wd
+	if ctx != nil && ctx.Done() != nil {
+		w := fault.Watchdog{}
+		if wd != nil {
+			w = *wd
+		}
+		w.Ctx = ctx
+		wd = &w
+	}
 	for !m.Halted {
 		if limit != 0 && m.Retired >= limit {
 			return ErrLimit
+		}
+		if reason, expired := wd.Check(m.Retired); expired {
+			return fault.Wrap(fault.WatchdogExpiry,
+				fmt.Errorf("emu: watchdog: %s after %d instructions (pc %d)", reason, m.Retired, m.PC),
+				m.snapshot(m.PC))
 		}
 		if err := m.Step(); err != nil {
 			return err

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"cfd/internal/config"
+	"cfd/internal/fault"
 	"cfd/internal/harness"
 	"cfd/internal/stats"
 )
@@ -42,6 +43,44 @@ type Document struct {
 
 	// Runs holds every memoized simulation, sorted by spec key.
 	Runs []Run `json:"runs"`
+
+	// Faults holds every failed run as a structured fault record, sorted
+	// by spec key — present when the Runner swept in keep-going mode (or
+	// the tool chose to export after a failure). Adding this section is a
+	// compatible schema change; consumers ignoring unknown fields see the
+	// same document as before.
+	Faults []FaultRecord `json:"faults,omitempty"`
+}
+
+// FaultRecord is one failed run: the identifying spec fields, the typed
+// fault classification, and the machine-state snapshot captured at fault
+// time. Error strings and snapshots are deterministic (panic stacks are
+// deliberately excluded from fault messages), so documents with faults stay
+// byte-identical across -jobs settings.
+type FaultRecord struct {
+	Workload string `json:"workload"`
+	Variant  string `json:"variant"`
+	Config   string `json:"config"`
+
+	Kind     string          `json:"kind,omitempty"` // fault.Kind; empty for untyped errors
+	Error    string          `json:"error"`
+	Snapshot *fault.Snapshot `json:"snapshot,omitempty"`
+}
+
+// FromFailure converts one harness failure to its export record.
+func FromFailure(fl harness.Failure) FaultRecord {
+	rec := FaultRecord{
+		Workload: fl.Spec.Workload,
+		Variant:  string(fl.Spec.Variant),
+		Config:   fl.Spec.Config.Name,
+		Error:    fl.Err.Error(),
+	}
+	if f, ok := fault.As(fl.Err); ok {
+		rec.Kind = f.Kind.String()
+		snap := f.Snap
+		rec.Snapshot = &snap
+	}
+	return rec
 }
 
 // Experiment records one harness experiment execution.
@@ -173,6 +212,9 @@ func Build(tool string, r *harness.Runner, exps []Experiment) *Document {
 	}
 	for _, res := range r.Results() {
 		doc.Runs = append(doc.Runs, FromResult(res))
+	}
+	for _, fl := range r.Failures() {
+		doc.Faults = append(doc.Faults, FromFailure(fl))
 	}
 	return doc
 }

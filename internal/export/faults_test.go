@@ -1,0 +1,99 @@
+package export
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/harness"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+	"cfd/internal/workload"
+)
+
+// faultDoc runs a keep-going sweep with a deliberately violating workload
+// mixed in and returns the export document.
+func faultDoc(t *testing.T, jobs int) *Document {
+	t.Helper()
+	const bad = "export-violator-test"
+	if _, ok := workload.ByName(bad); !ok {
+		if err := workload.Register(&workload.Spec{
+			Name:     bad,
+			Variants: []workload.Variant{workload.Base},
+			DefaultN: 1024, TestN: 256,
+			Build: func(v workload.Variant, n int64) (*prog.Program, *mem.Memory, error) {
+				p := prog.NewBuilder().
+					Nop().
+					BranchBQ("out").Label("out").Halt().MustBuild()
+				return p, mem.New(), nil
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { workload.Deregister(bad) })
+	}
+	r := harness.NewRunner(exportScale)
+	r.Jobs = jobs
+	r.KeepGoing = true
+	cfg := config.SandyBridge()
+	specs := []harness.RunSpec{
+		{Workload: "bzip2like", Variant: workload.Base, Config: cfg},
+		{Workload: bad, Variant: workload.Base, Config: cfg},
+		{Workload: "bzip2like", Variant: workload.CFD, Config: cfg},
+	}
+	if _, err := r.Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	return Build("cfdbench", r, nil)
+}
+
+// TestFaultsSection: a contained failure appears in the document's faults
+// section with its kind, deterministic error text, and snapshot.
+func TestFaultsSection(t *testing.T) {
+	doc := faultDoc(t, 1)
+	if len(doc.Runs) != 2 {
+		t.Fatalf("document has %d runs, want 2 healthy", len(doc.Runs))
+	}
+	if len(doc.Faults) != 1 {
+		t.Fatalf("document has %d faults, want 1", len(doc.Faults))
+	}
+	f := doc.Faults[0]
+	if f.Workload != "export-violator-test" || f.Variant != "base" {
+		t.Errorf("fault attributed to %s/%s", f.Workload, f.Variant)
+	}
+	if f.Kind != "queue-violation" {
+		t.Errorf("fault kind = %q, want queue-violation", f.Kind)
+	}
+	if f.Snapshot == nil || f.Snapshot.Engine != "pipeline" {
+		t.Errorf("fault snapshot missing or wrong engine: %+v", f.Snapshot)
+	}
+	if f.Error == "" {
+		t.Error("fault has empty error text")
+	}
+
+	// The faults section must survive a JSON round trip.
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Faults) != 1 || back.Faults[0].Kind != "queue-violation" {
+		t.Fatalf("faults section lost in round trip: %+v", back.Faults)
+	}
+}
+
+// TestFaultsDeterministic: fault records (including their error strings)
+// must be byte-identical across serial and parallel sweeps — the reason
+// panic stacks live outside Fault.Error().
+func TestFaultsDeterministic(t *testing.T) {
+	serial := encode(t, faultDoc(t, 1))
+	parallel := encode(t, faultDoc(t, 8))
+	if !bytes.Equal(serial, parallel) {
+		t.Error("faulted export differs between Jobs=1 and Jobs=8")
+	}
+}

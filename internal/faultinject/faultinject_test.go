@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCampaignDetectsAll runs the acceptance-criterion campaign: at least
+// 200 applied corruptions across every site, all detected.
+func TestCampaignDetectsAll(t *testing.T) {
+	rep, err := Run(Config{Seed: 20120612, Injections: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected < 200 {
+		t.Fatalf("injected %d corruptions, want >= 200 (skipped %d)", rep.Injected, rep.Skipped)
+	}
+	if rep.Missed != 0 {
+		for _, tr := range rep.Trials {
+			if tr.Outcome == OutcomeMissed {
+				t.Errorf("missed: site %s victim %s step %d: %s", tr.Site, tr.Victim, tr.Step, tr.Detail)
+			}
+		}
+		t.Fatalf("campaign missed %d of %d injections", rep.Missed, rep.Injected)
+	}
+	if rep.Detected != rep.Injected {
+		t.Fatalf("detected %d != injected %d", rep.Detected, rep.Injected)
+	}
+	// Every site must actually have been exercised.
+	for _, site := range AllSites {
+		st := rep.BySite[site]
+		if st == nil || st.Injected == 0 {
+			t.Errorf("site %s: no applied injections", site)
+		}
+	}
+	t.Logf("injected %d, detected %d, skipped %d", rep.Injected, rep.Detected, rep.Skipped)
+	for _, site := range AllSites {
+		if st := rep.BySite[site]; st != nil {
+			t.Logf("  %-12s injected %3d detected %3d", site, st.Injected, st.Detected)
+		}
+	}
+}
+
+// TestCampaignDeterministic asserts the same seed reproduces the identical
+// report, trial for trial.
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := Run(Config{Seed: 7, Injections: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, Injections: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		t.Fatalf("same seed, different reports:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestCampaignSingleSite checks a restricted-site campaign stays inside
+// the requested sites.
+func TestCampaignSingleSite(t *testing.T) {
+	rep, err := Run(Config{Seed: 3, Injections: 9, Sites: []Site{SiteImgTQ}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 9 || rep.Missed != 0 {
+		t.Fatalf("injected %d missed %d, want 9/0", rep.Injected, rep.Missed)
+	}
+	for site := range rep.BySite {
+		if site != SiteImgTQ {
+			t.Errorf("unexpected site %s", site)
+		}
+	}
+}

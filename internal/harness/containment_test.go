@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/fault"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+	"cfd/internal/workload"
+)
+
+// registerCorruptWorkloads installs two transient deliberately broken
+// workloads: one whose builder panics outright, and one whose program
+// commits a BQ ordering violation mid-run. Cleanup deregisters both.
+func registerCorruptWorkloads(t *testing.T) (crash, violator string) {
+	t.Helper()
+	crash, violator = "crashlike-test", "violatorlike-test"
+	if err := workload.Register(&workload.Spec{
+		Name:     crash,
+		Variants: []workload.Variant{workload.Base},
+		DefaultN: 1024, TestN: 256,
+		Build: func(v workload.Variant, n int64) (*prog.Program, *mem.Memory, error) {
+			panic("deliberately corrupt builder")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { workload.Deregister(crash) })
+	if err := workload.Register(&workload.Spec{
+		Name:     violator,
+		Variants: []workload.Variant{workload.Base},
+		DefaultN: 1024, TestN: 256,
+		Build: func(v workload.Variant, n int64) (*prog.Program, *mem.Memory, error) {
+			// Pops a predicate that was never pushed: a queue-violation
+			// fault once the branch_bq retires.
+			p := prog.NewBuilder().
+				Nop().
+				BranchBQ("out").Label("out").Halt().MustBuild()
+			return p, mem.New(), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { workload.Deregister(violator) })
+	return crash, violator
+}
+
+// TestSweepContainment is the acceptance scenario: a sweep over the full
+// workload x variant matrix with deliberately corrupted workloads mixed in
+// completes every healthy run, reports each failure as a structured typed
+// fault, and never dies on the in-simulation panic.
+func TestSweepContainment(t *testing.T) {
+	crash, violator := registerCorruptWorkloads(t)
+
+	cfg := config.SandyBridge()
+	var specs []RunSpec
+	corrupt := map[int]bool{}
+	for _, s := range workload.All() {
+		for _, v := range s.Variants {
+			if s.Name == crash || s.Name == violator {
+				corrupt[len(specs)] = true
+			}
+			specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: cfg})
+		}
+	}
+	if len(corrupt) != 2 {
+		t.Fatalf("expected 2 corrupt specs in the matrix, got %d", len(corrupt))
+	}
+
+	r := NewRunner(0.02)
+	r.Jobs = 4
+	r.KeepGoing = true
+	out, err := r.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("keep-going sweep failed outright: %v", err)
+	}
+	if len(out) != len(specs) {
+		t.Fatalf("sweep returned %d results for %d specs", len(out), len(specs))
+	}
+	for i, res := range out {
+		if corrupt[i] && res != nil {
+			t.Errorf("corrupt spec %s/%s produced a result", specs[i].Workload, specs[i].Variant)
+		}
+		if !corrupt[i] && res == nil {
+			t.Errorf("healthy spec %s/%s lost its result to containment", specs[i].Workload, specs[i].Variant)
+		}
+	}
+
+	fails := r.Failures()
+	if len(fails) != 2 {
+		t.Fatalf("Failures() returned %d entries, want 2: %v", len(fails), fails)
+	}
+	kinds := map[string]fault.Kind{}
+	for _, fl := range fails {
+		f, ok := fault.As(fl.Err)
+		if !ok {
+			t.Fatalf("failure %v is not a typed fault", fl.Err)
+		}
+		kinds[fl.Spec.Workload] = f.Kind
+	}
+	if kinds[crash] != fault.RuntimePanic {
+		t.Errorf("builder panic recorded as %v, want runtime-panic", kinds[crash])
+	}
+	if kinds[violator] != fault.QueueViolation {
+		t.Errorf("BQ violation recorded as %v, want queue-violation", kinds[violator])
+	}
+}
+
+// TestRunWatchdogFault: the Runner's MaxCycles budget converts a
+// too-long simulation into a typed watchdog fault rather than a hang.
+func TestRunWatchdogFault(t *testing.T) {
+	r := NewRunner(0.02)
+	r.MaxCycles = 500
+	_, err := r.Run(RunSpec{Workload: "soplexlike", Variant: workload.Base, Config: config.SandyBridge()})
+	f, ok := fault.As(err)
+	if !ok || f.Kind != fault.WatchdogExpiry {
+		t.Fatalf("err = %v, want watchdog-expiry fault", err)
+	}
+}
+
+// TestSweepKeepGoingCallerCancel: caller cancellation still aborts a
+// keep-going sweep — keep-going tolerates failing specs, not a dead caller.
+func TestSweepKeepGoingCallerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(0.02)
+	r.KeepGoing = true
+	specs := []RunSpec{
+		{Workload: "bzip2like", Variant: workload.Base, Config: config.SandyBridge()},
+	}
+	if _, err := r.Sweep(ctx, specs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("keep-going sweep under canceled ctx = %v, want context.Canceled", err)
+	}
+}

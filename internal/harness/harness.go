@@ -14,14 +14,17 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cfd/internal/energy"
 
 	"cfd/internal/config"
 	"cfd/internal/emu"
+	"cfd/internal/fault"
 	"cfd/internal/mem"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
@@ -45,6 +48,19 @@ type Runner struct {
 	// the run on any divergence in retired-instruction count,
 	// architectural registers, or final memory.
 	Verify bool
+	// KeepGoing makes Sweep run every spec to completion instead of
+	// cancelling on the first failure. Failed specs yield nil results;
+	// their structured faults are collected by Failures and exported in
+	// the document's faults section.
+	KeepGoing bool
+	// MaxCycles, when nonzero, arms a per-run watchdog cycle budget on
+	// every simulation (and the same budget, counted in retired
+	// instructions, on oracle pre-runs of the emulator).
+	MaxCycles uint64
+	// RunTimeout, when nonzero, arms a per-run wall-clock deadline on
+	// every simulation. Expiry surfaces as a WatchdogExpiry fault with a
+	// machine-state snapshot, not a hung sweep.
+	RunTimeout time.Duration
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -90,6 +106,7 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 // deterministic, so retrying cannot help).
 type cacheEntry struct {
 	done chan struct{}
+	spec RunSpec
 	res  *Result
 	err  error
 }
@@ -179,7 +196,7 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 			return nil, ctx.Err()
 		}
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{done: make(chan struct{}), spec: rs}
 	r.cache[key] = e
 	r.mu.Unlock()
 	r.simulations.Add(1)
@@ -218,6 +235,57 @@ func (r *Runner) Results() []*Result {
 	return out
 }
 
+// Failure pairs a failed run's spec with its (memoized) error. The error is
+// usually a *fault.Fault — a typed fault with a machine-state snapshot —
+// but build and lookup errors pass through untyped.
+type Failure struct {
+	Spec RunSpec
+	Err  error
+}
+
+// Failures returns every completed memoized failure, sorted by spec key —
+// the same stable order as Results, so the export document's faults section
+// is byte-identical for any Jobs setting.
+func (r *Runner) Failures() []Failure {
+	r.mu.Lock()
+	entries := make(map[string]*cacheEntry, len(r.cache))
+	for k, e := range r.cache {
+		entries[k] = e
+	}
+	r.mu.Unlock()
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Failure, 0)
+	for _, k := range keys {
+		e := entries[k]
+		select {
+		case <-e.done:
+			if e.err != nil {
+				out = append(out, Failure{Spec: e.spec, Err: e.err})
+			}
+		default: // still simulating
+		}
+	}
+	return out
+}
+
+// watchdog builds the per-run watchdog from the Runner's budget fields, or
+// nil when no budget is set. Each simulation gets its own instance so the
+// wall-clock deadline is measured from that run's start.
+func (r *Runner) watchdog() *fault.Watchdog {
+	if r.MaxCycles == 0 && r.RunTimeout == 0 {
+		return nil
+	}
+	w := &fault.Watchdog{MaxCycles: r.MaxCycles}
+	if r.RunTimeout > 0 {
+		w.Deadline = time.Now().Add(r.RunTimeout)
+	}
+	return w
+}
+
 // Test hooks: set before any goroutines start and restored after they
 // finish, so tests can force specific interleavings (e.g. the sweep
 // cancellation race) deterministically. Nil in production.
@@ -226,8 +294,18 @@ var (
 	testOnSweepCancel func()        // called after a failing spec cancels a sweep
 )
 
-// simulate performs the actual cycle-level run for rs (no caching).
-func (r *Runner) simulate(rs RunSpec) (*Result, error) {
+// simulate performs the actual cycle-level run for rs (no caching). A panic
+// escaping either engine (or a workload builder) is contained here and
+// memoized as a RuntimePanic fault, so one dying run cannot take down a
+// sweep's worker pool.
+func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			f := fault.FromPanic(v, debug.Stack(), fault.Snapshot{Engine: "harness"})
+			res, err = nil, fmt.Errorf("harness: %s/%s on %s: %w",
+				rs.Workload, rs.Variant, rs.Config.Name, f)
+		}
+	}()
 	if h := testOnSimulate; h != nil {
 		h(rs)
 	}
@@ -243,8 +321,12 @@ func (r *Runner) simulate(rs RunSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	wd := r.watchdog()
 
 	var opts []pipeline.Option
+	if wd != nil {
+		opts = append(opts, pipeline.WithWatchdog(wd))
+	}
 	if rs.PerfectAll || rs.PerfectCFD {
 		perfect := map[uint64]bool{}
 		if rs.PerfectCFD {
@@ -253,11 +335,15 @@ func (r *Runner) simulate(rs RunSpec) (*Result, error) {
 			}
 		}
 		oracle := pipeline.NewOracle()
-		em := emu.New(p, m.Clone(), emu.WithTracer(emu.TracerFunc(func(ev emu.Event) {
+		emuOpts := []emu.Option{emu.WithTracer(emu.TracerFunc(func(ev emu.Event) {
 			if ev.Inst.Op.IsCondBranch() && (rs.PerfectAll || perfect[ev.PC]) {
 				oracle.Record(ev.PC, ev.Taken)
 			}
-		})))
+		}))}
+		if wd != nil {
+			emuOpts = append(emuOpts, emu.WithWatchdog(wd))
+		}
+		em := emu.New(p, m.Clone(), emuOpts...)
 		if err := em.Run(500_000_000); err != nil {
 			return nil, fmt.Errorf("harness: oracle pre-run %s/%s: %w", rs.Workload, rs.Variant, err)
 		}

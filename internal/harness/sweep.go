@@ -15,6 +15,12 @@ import (
 // reported is the failure at the lowest index, so error reporting is as
 // deterministic as the serial path. With one worker (Jobs == 1) the specs
 // run strictly serially in submission order.
+//
+// With KeepGoing set, a failing spec does not cancel the sweep: every spec
+// still runs (crash containment turns panics into memoized faults), failed
+// specs leave nil slots in the returned slice, and Sweep reports no error
+// unless the caller's own ctx was cancelled. The failures are collected by
+// Failures in deterministic order for the export document.
 func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) {
 	out := make([]*Result, len(specs))
 	jobs := r.jobs()
@@ -23,8 +29,14 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 	}
 	if jobs <= 1 {
 		for i, rs := range specs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res, err := r.RunCtx(ctx, rs)
 			if err != nil {
+				if r.KeepGoing && ctx.Err() == nil {
+					continue
+				}
 				return nil, err
 			}
 			out[i] = res
@@ -53,9 +65,11 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 				res, err := r.RunCtx(ctx, specs[i])
 				if err != nil {
 					errs[i] = err
-					cancel()
-					if h := testOnSweepCancel; h != nil {
-						h()
+					if !r.KeepGoing {
+						cancel()
+						if h := testOnSweepCancel; h != nil {
+							h()
+						}
 					}
 					continue
 				}
@@ -64,6 +78,16 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 		}()
 	}
 	wg.Wait()
+	if r.KeepGoing {
+		// Only the caller's own cancellation is an error; run failures
+		// are memoized and reported through Failures.
+		for _, err := range errs {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
 
 	// Report the lowest-index real failure; cancellation errors only
 	// matter when they came from the caller's context.

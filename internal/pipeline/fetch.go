@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"cfd/internal/config"
+	"cfd/internal/core"
 	"cfd/internal/energy"
 	"cfd/internal/isa"
 )
@@ -146,7 +147,10 @@ func (c *Core) fetch() error {
 				}
 			} else {
 				if e.overflow {
-					return errPipeline("PopTQ of an overflowed TQ entry (program must use pop_tq_ov)", c.fetchPC)
+					return c.queueFault(c.fetchPC, &core.ViolationError{
+						Queue: "TQ", Op: "pop_tq",
+						Why: "entry overflow bit set (program must use pop_tq_ov)",
+					})
 				}
 				c.specTCR = uint64(e.count)
 			}
@@ -186,6 +190,7 @@ func (c *Core) fetch() error {
 		case op == isa.ForwardBQ:
 			c.Meter.Add(energy.BQAccess, 1)
 			u.fwdFrom = c.bq.specHead
+			u.fwdHadMark = c.bq.markOK
 			if c.bq.markOK && c.bq.specMark > c.bq.specHead {
 				c.bq.specHead = c.bq.specMark
 			}
@@ -324,13 +329,3 @@ func (c *Core) btbProbe(u *uop, taken bool) {
 	}
 }
 
-type pipelineError struct {
-	msg string
-	pc  uint64
-}
-
-func (e *pipelineError) Error() string {
-	return "pipeline: " + e.msg
-}
-
-func errPipeline(msg string, pc uint64) error { return &pipelineError{msg, pc} }

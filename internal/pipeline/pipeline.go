@@ -19,12 +19,14 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"cfd/internal/cache"
 	"cfd/internal/config"
 	"cfd/internal/energy"
+	"cfd/internal/fault"
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/predictor"
@@ -77,11 +79,12 @@ type uop struct {
 	oldTCR    uint64
 	oldMark   uint64
 	oldMarkOK bool
-	bqIdx     int64 // PushBQ: allocated tail; BranchBQ: popped head
-	tqIdx     int64
-	vqIdx     int64
-	fwdFrom   uint64
-	fwdTo     uint64
+	bqIdx      int64 // PushBQ: allocated tail; BranchBQ: popped head
+	tqIdx      int64
+	vqIdx      int64
+	fwdFrom    uint64
+	fwdTo      uint64
+	fwdHadMark bool // ForwardBQ: a MarkBQ preceded it (checked at retire)
 
 	// Memory state.
 	isLoad, isStore bool
@@ -297,6 +300,13 @@ type Core struct {
 	lastRetireCycle uint64
 	trace           *tracer
 
+	// Hardened-runtime state: the watchdog bounding Run, the
+	// no-retirement-progress limit, and the last-retired diagnostic ring
+	// captured into fault snapshots.
+	wd         *fault.Watchdog
+	stallLimit uint64
+	diag       retRing
+
 	// Cycle-attribution state (see cpi.go).
 	cycRetired  int        // instructions retired this cycle
 	cycOverhead int        // CFD bookkeeping instructions retired this cycle
@@ -354,6 +364,23 @@ func WithOracle(o *Oracle) Option { return func(c *Core) { c.oracle = o } }
 // WithPerfectBP makes every conditional branch consult the oracle
 // (full perfect prediction); requires WithOracle.
 func WithPerfectBP() Option { return func(c *Core) { c.perfectBP = true } }
+
+// WithWatchdog bounds Run with a cycle budget and/or wall-clock deadline.
+// Expiry surfaces as a fault.WatchdogExpiry fault carrying a machine-state
+// snapshot, never a hang.
+func WithWatchdog(w *fault.Watchdog) Option { return func(c *Core) { c.wd = w } }
+
+// WithDeadlockLimit overrides how many cycles may pass without a retirement
+// before Run reports a deadlock fault (default defaultStallLimit; tests use
+// small values to keep hang scenarios fast).
+func WithDeadlockLimit(cycles uint64) Option {
+	return func(c *Core) { c.stallLimit = cycles }
+}
+
+// defaultStallLimit is the no-retirement-progress bound: generously above
+// any legitimate stall (a full-window chain of memory misses resolves in
+// thousands of cycles, not hundreds of thousands).
+const defaultStallLimit = 200000
 
 // New builds a core. The memory m holds the workload's initial data; the
 // core commits stores back to it, so pass a clone if the caller needs the
@@ -445,16 +472,51 @@ func (c *Core) Cycle() error {
 // Run executes until HALT retires or maxRetired instructions have retired
 // (0 = no limit). It returns ErrLimit if the budget ran out first.
 func (c *Core) Run(maxRetired uint64) error {
+	return c.RunCtx(context.Background(), maxRetired)
+}
+
+// RunCtx is Run with cancellation and watchdog supervision. Abnormal
+// conditions — queue ordering violations, watchdog expiry (cycle budget,
+// wall-clock deadline, ctx cancellation), retirement deadlock, internal
+// invariant breaches — return a *fault.Fault carrying a machine-state
+// snapshot; RunCtx never panics on malformed programs.
+func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) error {
+	wd := c.wd
+	if ctx != nil && ctx.Done() != nil {
+		// Fold the caller's context into a run-local watchdog copy.
+		w := fault.Watchdog{}
+		if wd != nil {
+			w = *wd
+		}
+		w.Ctx = ctx
+		wd = &w
+	}
+	limit := c.stallLimit
+	if limit == 0 {
+		limit = defaultStallLimit
+	}
 	c.lastRetireCycle = c.now
 	for !c.done {
 		if maxRetired != 0 && c.Stats.Retired >= maxRetired {
 			return ErrLimit
 		}
+		if reason, expired := wd.Check(c.now); expired {
+			return fault.Wrap(fault.WatchdogExpiry,
+				fmt.Errorf("pipeline: watchdog: %s at cycle %d (pc %d)", reason, c.now, c.fetchPC),
+				c.snapshot())
+		}
 		if err := c.Cycle(); err != nil {
 			return err
 		}
-		if c.now-c.lastRetireCycle > 200000 {
-			return fmt.Errorf("%w at cycle %d (pc %d)", ErrDeadlock, c.now, c.fetchPC)
+		if c.now-c.lastRetireCycle > limit {
+			return fault.Wrap(fault.WatchdogExpiry,
+				fmt.Errorf("%w at cycle %d (pc %d)", ErrDeadlock, c.now, c.fetchPC),
+				c.snapshot())
+		}
+		if c.now&1023 == 0 {
+			if err := c.checkInvariants(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

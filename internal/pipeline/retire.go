@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"cfd/internal/core"
 	"cfd/internal/energy"
 	"cfd/internal/isa"
 )
@@ -50,7 +51,12 @@ func (c *Core) retire() error {
 			c.sqHead++
 		case op == isa.BranchBQ:
 			if u.bqIdx < 0 {
-				return errPipeline("BranchBQ retired with no pushed predicate (push/pop ordering violation)", u.pc)
+				// A speculative pop that never claimed an entry reached
+				// retirement: the program popped more than it pushed.
+				return c.queueFault(u.pc, &core.ViolationError{
+					Queue: "BQ", Op: "branch_bq",
+					Why: "retired with no pushed predicate (push/pop ordering violation)",
+				})
 			}
 			c.bq.commHead = uint64(u.bqIdx) + 1
 			c.Stats.BQPops++
@@ -63,6 +69,13 @@ func (c *Core) retire() error {
 				c.Stats.BQResolvedAtFetch++
 			}
 		case op == isa.ForwardBQ:
+			if !u.fwdHadMark {
+				// Retired (hence correct-path) forward with no preceding
+				// mark — the same violation the emulator reports.
+				return c.queueFault(u.pc, &core.ViolationError{
+					Queue: "BQ", Op: "forward", Why: "no preceding mark",
+				})
+			}
 			if u.fwdTo > c.bq.commHead {
 				c.bq.commHead = u.fwdTo
 			}
@@ -119,6 +132,7 @@ func (c *Core) retire() error {
 		}
 
 		c.traceRecord(u)
+		c.diag.record(u.pc, u.inst)
 		c.Meter.Add(energy.Retire, 1)
 		c.Stats.Retired++
 		c.cycRetired++

@@ -2,6 +2,7 @@ package prog
 
 import (
 	"fmt"
+	"sort"
 
 	"cfd/internal/isa"
 )
@@ -188,11 +189,19 @@ func (b *Builder) Build() (*Program, error) {
 }
 
 // MustBuild is Build that panics on error; for statically known-good
-// workload construction.
+// workload construction. The panic carries the build context — instruction
+// count and the labels defined so far — so an init-time failure points at
+// the broken program instead of a bare error value.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
-		panic(err)
+		labels := make([]string, 0, len(b.labels))
+		for l := range b.labels {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		panic(fmt.Sprintf("prog: MustBuild of a broken program: %v (after %d instructions; labels defined: %v)",
+			err, len(b.insts), labels))
 	}
 	return p
 }

@@ -165,3 +165,22 @@ func TestBuilderCFDEmitters(t *testing.T) {
 		t.Errorf("BranchTCR offset = %d, want 0", p.Insts[6].Imm)
 	}
 }
+
+// TestMustBuildPanicContext: a MustBuild failure names the broken label and
+// reports the build context (instruction count, labels defined) so an
+// init-time panic is diagnosable.
+func TestMustBuildPanicContext(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("MustBuild with an undefined label did not panic")
+		}
+		msg, _ := v.(string)
+		for _, want := range []string{"missing", "start", "instructions"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	NewBuilder().Label("start").Nop().Jump("missing").MustBuild()
+}

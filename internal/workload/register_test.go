@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+func dummyBuild(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	return prog.NewBuilder().Halt().MustBuild(), mem.New(), nil
+}
+
+func TestRegisterValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want string
+	}{
+		{"nil spec", nil, "no name"},
+		{"empty name", &Spec{Build: dummyBuild, Variants: []Variant{Base}}, "no name"},
+		{"nil build", &Spec{Name: "x-test", Variants: []Variant{Base}}, "nil Build"},
+		{"no variants", &Spec{Name: "x-test", Build: dummyBuild}, "no variants"},
+	}
+	for _, tc := range cases {
+		err := Register(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Register = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	s := &Spec{Name: "dup-test", Build: dummyBuild, Variants: []Variant{Base}}
+	if err := Register(s); err != nil {
+		t.Fatal(err)
+	}
+	defer Deregister(s.Name)
+	if err := Register(s); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate Register = %v, want duplicate-name error", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	s := &Spec{Name: "transient-test", Build: dummyBuild, Variants: []Variant{Base}}
+	if err := Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ByName(s.Name); !ok {
+		t.Fatal("registered workload not found")
+	}
+	if !Deregister(s.Name) {
+		t.Fatal("Deregister reported the name absent")
+	}
+	if _, ok := ByName(s.Name); ok {
+		t.Fatal("workload still present after Deregister")
+	}
+	if Deregister(s.Name) {
+		t.Fatal("second Deregister reported the name present")
+	}
+}
+
+// TestMustBuildPanicIsDescriptive: the init-time panic must name the
+// workload and variant, not just forward a bare error.
+func TestMustBuildPanicIsDescriptive(t *testing.T) {
+	s, ok := ByName("soplexlike")
+	if !ok {
+		t.Fatal("soplexlike not registered")
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("MustBuild of an unimplemented variant did not panic")
+		}
+		msg, _ := v.(string)
+		if !strings.Contains(msg, "soplexlike") || !strings.Contains(msg, "nope") {
+			t.Fatalf("panic %q does not identify the workload and variant", msg)
+		}
+	}()
+	s.MustBuild(Variant("nope"), 256)
+}

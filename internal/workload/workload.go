@@ -82,11 +82,40 @@ func (s *Spec) MustBuild(v Variant, n int64) (*prog.Program, *mem.Memory) {
 
 var registry = map[string]*Spec{}
 
-func register(s *Spec) *Spec {
+// Register adds a workload to the registry, rejecting malformed specs and
+// duplicate names. The statically known workloads register through the
+// init-time register wrapper; tests use Register and Deregister directly to
+// install transient (including deliberately corrupt) workloads.
+func Register(s *Spec) error {
+	switch {
+	case s == nil || s.Name == "":
+		return fmt.Errorf("workload: register: spec has no name")
+	case s.Build == nil:
+		return fmt.Errorf("workload %s: register: nil Build function", s.Name)
+	case len(s.Variants) == 0:
+		return fmt.Errorf("workload %s: register: no variants", s.Name)
+	}
 	if _, dup := registry[s.Name]; dup {
-		panic("workload: duplicate " + s.Name)
+		return fmt.Errorf("workload %s: register: duplicate name", s.Name)
 	}
 	registry[s.Name] = s
+	return nil
+}
+
+// Deregister removes a workload installed by Register and reports whether
+// the name was present.
+func Deregister(name string) bool {
+	_, ok := registry[name]
+	delete(registry, name)
+	return ok
+}
+
+// register is the init-time path for the built-in workloads: a registration
+// error there is a programming bug in this package, so it panics.
+func register(s *Spec) *Spec {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
 	return s
 }
 
