@@ -13,8 +13,21 @@
 //	cfdbench -keep-going         # run every simulation even when some fault
 //	cfdbench -max-cycles N       # per-run watchdog cycle budget
 //	cfdbench -deadline 5m        # per-run watchdog wall-clock deadline
+//	cfdbench -metrics            # stream per-simulation progress to stderr
+//	cfdbench -trace-out t.json   # Perfetto trace of the sweeps (virtual time)
 //	cfdbench -cpuprofile cpu.pb  # write a pprof CPU profile
 //	cfdbench -memprofile mem.pb  # write a pprof heap profile
+//
+// -metrics prints one stderr line per completed simulation — status, the
+// Runner's cumulative cache hit rate, and an ETA for the current sweep —
+// without touching stdout, which stays a deterministic artifact. The
+// end-of-run cache totals print on stderr regardless.
+//
+// -trace-out lays every memoized run end to end on a virtual timeline (one
+// span per sweep cell, as wide as its simulated cycles, annotated with
+// cache hits and fault outcome) in Chrome trace-event JSON for
+// ui.perfetto.dev; like the stdout tables, the trace is byte-identical for
+// any -jobs value.
 //
 // Each experiment submits all of its simulations up front and fans them
 // across -jobs workers, then assembles its rows serially — so the output
@@ -49,6 +62,9 @@ func main() {
 		keepGoing = flag.Bool("keep-going", false, "complete every simulation even when some fail; failures land in the JSON faults section")
 		maxCycles = flag.Uint64("max-cycles", 0, "per-run watchdog cycle budget (0 = unlimited)")
 		deadline  = flag.Duration("deadline", 0, "per-run watchdog wall-clock deadline (0 = none)")
+
+		metrics  = flag.Bool("metrics", false, "stream per-simulation progress (status, cache hit rate, ETA) to stderr")
+		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the sweeps to this path ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -93,6 +109,10 @@ func main() {
 	r.KeepGoing = *keepGoing
 	r.MaxCycles = *maxCycles
 	r.RunTimeout = *deadline
+	if *metrics {
+		pp := &progressPrinter{r: r}
+		r.OnProgress = pp.report
+	}
 	var records []export.Experiment
 	failedExps := 0
 	for _, e := range exps {
@@ -118,8 +138,22 @@ func main() {
 		fmt.Println()
 	}
 
+	// End-of-run cache totals: how much work the memoizing Runner saved.
+	tot := r.Metrics()
+	hitRate := 0.0
+	if tot.Lookups > 0 {
+		hitRate = float64(tot.CacheHits) / float64(tot.Lookups)
+	}
+	fmt.Fprintf(os.Stderr, "cfdbench: runner cache: %d lookups, %d simulated, %d hits (%.0f%% hit rate)\n",
+		tot.Lookups, tot.Simulations, tot.CacheHits, 100*hitRate)
+
 	if *jsonPath != "" {
 		if err := export.WriteFile(*jsonPath, export.Build("cfdbench", r, records)); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := r.Trace().WriteFile(*traceOut); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -137,6 +171,38 @@ func main() {
 	if failedExps > 0 {
 		fatalf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
 	}
+}
+
+// progressPrinter streams one stderr line per completed simulation. The
+// Runner serializes calls, so the fields need no extra locking; a sweep
+// restart is detected by the counter resetting to 1.
+type progressPrinter struct {
+	r     *harness.Runner
+	start time.Time
+}
+
+func (p *progressPrinter) report(ev harness.ProgressEvent) {
+	if ev.Completed == 1 {
+		p.start = time.Now()
+	}
+	eta := "-"
+	if ev.Completed > 0 && ev.Completed < ev.Total {
+		per := time.Since(p.start) / time.Duration(ev.Completed)
+		eta = (per * time.Duration(ev.Total-ev.Completed)).Round(100 * time.Millisecond).String()
+	}
+	m := p.r.Metrics()
+	hitRate := 0.0
+	if m.Lookups > 0 {
+		hitRate = float64(m.CacheHits) / float64(m.Lookups)
+	}
+	status := "ok"
+	if ev.Err != nil {
+		status = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "  [%d/%d] %-48s %-4s  hit rate %3.0f%%  eta %s\n",
+		ev.Completed, ev.Total,
+		fmt.Sprintf("%s/%s @ %s", ev.Spec.Workload, ev.Spec.Variant, ev.Spec.Config.Name),
+		status, 100*hitRate, eta)
 }
 
 func fatalf(format string, args ...interface{}) {

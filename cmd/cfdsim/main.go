@@ -6,8 +6,20 @@
 //	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
 //	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
 //	       [-pipeview N] [-verify] [-json out.json]
+//	       [-sample-every N] [-trace-out trace.json] [-trace-start N] [-trace-limit N]
 //	       [-max-cycles N] [-deadline 30s]
 //	cfdsim -inject 200 [-seed 1] [-json report.json]
+//
+// -sample-every N attaches an interval sampler: IPC, MPKI, stall fractions,
+// and BQ/VQ/TQ occupancy are recorded every N cycles, full-run occupancy
+// histograms are printed, and the -json document carries the series under
+// its timeseries/occupancy sections.
+//
+// -trace-out writes a Chrome trace-event JSON (load it in ui.perfetto.dev
+// or chrome://tracing): one span per pipeline stage per traced instruction,
+// plus counter tracks from the sampler when -sample-every is on. The window
+// flags bound the capture: -trace-start skips that many instructions, then
+// -trace-limit instructions are recorded.
 //
 // -max-cycles and -deadline arm a watchdog on the simulation: when the
 // cycle budget or wall-clock deadline expires, the run stops with a typed
@@ -42,9 +54,46 @@ import (
 	"cfd/internal/fault"
 	"cfd/internal/faultinject"
 	"cfd/internal/harness"
+	"cfd/internal/obs"
 	"cfd/internal/pipeline"
+	"cfd/internal/stats"
 	"cfd/internal/workload"
 )
+
+// occupancyChart renders one queue's full-run occupancy histogram as an
+// ASCII bar chart, coarsened to at most nine depth bins so a 128-entry
+// queue stays readable.
+func occupancyChart(title string, q obs.QueueOccupancy) string {
+	const bins = 8
+	labels := []string{"0"}
+	var v0 uint64
+	if len(q.Counts) > 0 {
+		v0 = q.Counts[0]
+	}
+	values := []uint64{v0}
+	step := (q.Size + bins - 1) / bins
+	if step < 1 {
+		step = 1
+	}
+	for lo := 1; lo <= q.Size; lo += step {
+		hi := lo + step - 1
+		if hi > q.Size {
+			hi = q.Size
+		}
+		var sum uint64
+		for i := lo; i <= hi && i < len(q.Counts); i++ {
+			sum += q.Counts[i]
+		}
+		if lo == hi {
+			labels = append(labels, fmt.Sprintf("%d", lo))
+		} else {
+			labels = append(labels, fmt.Sprintf("%d-%d", lo, hi))
+		}
+		values = append(values, sum)
+	}
+	return stats.Histogram(fmt.Sprintf("%s (mean %.1f, max %d)", title, q.Mean, q.Max),
+		labels, values)
+}
 
 func main() {
 	var (
@@ -65,6 +114,11 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "watchdog wall-clock deadline for the run (0 = none)")
 		inject    = flag.Int("inject", 0, "run a fault-injection campaign of N corruptions instead of a simulation")
 		seed      = flag.Int64("seed", 1, "fault-injection campaign seed")
+
+		sampleEvery = flag.Uint64("sample-every", 0, "sample IPC/stall/queue-occupancy telemetry every N cycles (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the run to this path ('-' = stdout)")
+		traceStart  = flag.Int("trace-start", 0, "skip N instructions before the trace window opens")
+		traceLimit  = flag.Int("trace-limit", 512, "trace window length in instructions (with -trace-out)")
 	)
 	flag.Parse()
 
@@ -102,8 +156,17 @@ func main() {
 		cfg.BQMissPolicy = config.StallFetch
 	}
 	var popts []pipeline.Option
-	if *pipeview > 0 {
+	switch {
+	case *traceOut != "":
+		// A Perfetto trace wants steady state, so it gets the windowed
+		// capture; Pipeview renders from the same window when both are on.
+		popts = append(popts, pipeline.WithTraceWindow(*traceStart, *traceLimit))
+	case *pipeview > 0:
 		popts = append(popts, pipeline.WithTrace(*pipeview))
+	}
+	if *sampleEvery > 0 {
+		popts = append(popts, pipeline.WithObserver(
+			obs.NewObserver(*sampleEvery, cfg.BQSize, cfg.VQSize, cfg.TQSize)))
 	}
 	if *maxCycles > 0 || *deadline > 0 {
 		popts = append(popts, pipeline.WithWatchdog(fault.WithTimeout(*maxCycles, *deadline)))
@@ -130,12 +193,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "cfdsim: %v\n", werr)
 			}
 		}
+		// A faulted run's partial trace is still written: the last traced
+		// instructions usually show what wedged.
+		if *traceOut != "" {
+			core.FinishObservation()
+			if werr := core.PerfettoTrace().WriteFile(*traceOut); werr != nil {
+				fmt.Fprintf(os.Stderr, "cfdsim: %v\n", werr)
+			}
+		}
 		if f, ok := fault.As(err); ok {
 			fmt.Fprint(os.Stderr, f.Dump())
 			os.Exit(1)
 		}
 		fatalf("%v", err)
 	}
+	core.FinishObservation()
 	if *verify {
 		if err := emu.VerifyArch(p, init, core.ArchRegs(), core.Mem(), core.Stats.Retired,
 			emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)); err != nil {
@@ -168,6 +240,15 @@ func main() {
 	}
 	fmt.Println(st.CPI.Render("CPI stack (cycle attribution)", st.Retired))
 
+	if o := core.Observer(); o != nil {
+		fmt.Printf("telemetry       %d samples every %d cycles\n\n", len(o.Samples), o.Every)
+		if occ := o.Occupancy(); occ != nil {
+			fmt.Print(occupancyChart("BQ occupancy", occ.BQ))
+			fmt.Print(occupancyChart("VQ occupancy", occ.VQ))
+			fmt.Print(occupancyChart("TQ occupancy", occ.TQ))
+		}
+	}
+
 	if *jsonPath != "" {
 		events := make(map[string]uint64)
 		for e := 0; e < energy.NumEvents; e++ {
@@ -176,7 +257,8 @@ func main() {
 			}
 		}
 		res := &harness.Result{
-			Spec:          harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant), Config: cfg},
+			Spec: harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant),
+				Config: cfg, SampleEvery: *sampleEvery},
 			Stats:         st,
 			EnergyTotal:   core.Meter.Total(),
 			EnergyDynamic: core.Meter.Dynamic(),
@@ -184,6 +266,8 @@ func main() {
 			EnergyQueue:   core.Meter.QueueEnergy(),
 			EnergyEvents:  events,
 			MSHRHist:      core.Hierarchy().Hist,
+			Timeseries:    core.Observer().Timeseries(),
+			Occupancy:     core.Observer().Occupancy(),
 		}
 		doc := &export.Document{
 			Schema: export.Schema, Version: export.Version, Tool: "cfdsim",
@@ -191,6 +275,11 @@ func main() {
 			Runs: []export.Run{export.FromResult(res)},
 		}
 		if err := export.WriteFile(*jsonPath, doc); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := core.PerfettoTrace().WriteFile(*traceOut); err != nil {
 			fatalf("%v", err)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"cfd/internal/fault"
 	"cfd/internal/isa"
 	"cfd/internal/mem"
+	"cfd/internal/obs"
 	"cfd/internal/prog"
 )
 
@@ -61,6 +62,7 @@ type Machine struct {
 
 	tracer Tracer
 	wd     *fault.Watchdog
+	obsv   *obs.Observer
 	diag   retRing
 }
 
@@ -356,6 +358,9 @@ func (m *Machine) Step() error {
 	m.PC = next
 	m.Retired++
 	m.diag.record(pc, in)
+	if m.obsv != nil {
+		m.obsTick()
+	}
 	if m.tracer != nil {
 		ev.NextPC = next
 		m.tracer.Retire(ev)

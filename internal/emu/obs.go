@@ -1,0 +1,55 @@
+package emu
+
+import "cfd/internal/obs"
+
+// The emulator has no pipeline, so its observer runs on the instruction
+// clock: one tick per retired instruction, architectural queue occupancy
+// observed after each retirement. Cycle-flavoured sample fields (IPC, stall
+// fractions) degenerate to their architectural values — IPC is identically
+// one — but the occupancy series and histograms are real and directly
+// comparable to the pipeline's, which is the point: they show how much of
+// the BQ/VQ/TQ pressure is architectural (program shape) versus
+// microarchitectural (timing).
+
+// WithObserver attaches an interval sampler driven by the instruction
+// clock. Nil disables observation with zero per-step cost beyond one nil
+// check.
+func WithObserver(o *obs.Observer) Option {
+	return func(m *Machine) { m.obsv = o }
+}
+
+// Observer returns the attached observer (nil when observation is off).
+func (m *Machine) Observer() *obs.Observer { return m.obsv }
+
+func (m *Machine) obsTick() {
+	o := m.obsv
+	o.TickQueues(m.BQ.Len(), m.VQ.Len(), m.TQ.Len())
+	if o.Due(m.Retired) {
+		o.Record(m.intervalCounters())
+	}
+}
+
+func (m *Machine) intervalCounters() obs.IntervalCounters {
+	return obs.IntervalCounters{Cycle: m.Retired, Retired: m.Retired}
+}
+
+// FinishObservation flushes the partial tail interval. Call once after the
+// run; safe to call with observation disabled.
+func (m *Machine) FinishObservation() {
+	if m.obsv != nil {
+		m.obsv.Finish(m.intervalCounters())
+	}
+}
+
+// RegisterProbes registers the machine's live architectural state as named
+// probes: retirement count, PC, TCR, and the architectural queue
+// occupancies. Probes are pull-based, so registration adds no per-step
+// cost. No-op on a nil registry.
+func (m *Machine) RegisterProbes(reg *obs.Registry) {
+	reg.RegisterProbe("emu.retired", obs.ProbeFunc(func() float64 { return float64(m.Retired) }))
+	reg.RegisterProbe("emu.pc", obs.ProbeFunc(func() float64 { return float64(m.PC) }))
+	reg.RegisterProbe("emu.tcr", obs.ProbeFunc(func() float64 { return float64(m.TCR) }))
+	reg.RegisterProbe("emu.bq_occ", obs.ProbeFunc(func() float64 { return float64(m.BQ.Len()) }))
+	reg.RegisterProbe("emu.vq_occ", obs.ProbeFunc(func() float64 { return float64(m.VQ.Len()) }))
+	reg.RegisterProbe("emu.tq_occ", obs.ProbeFunc(func() float64 { return float64(m.TQ.Len()) }))
+}

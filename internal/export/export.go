@@ -19,13 +19,22 @@ import (
 	"cfd/internal/config"
 	"cfd/internal/fault"
 	"cfd/internal/harness"
+	"cfd/internal/obs"
 	"cfd/internal/stats"
 )
 
 // Schema identifies the document family; Version its revision.
+//
+// Version history:
+//
+//	1 — initial schema: runs, experiments, faults.
+//	2 — telemetry: runs gain optional `timeseries` (interval-sampled
+//	    IPC/MPKI/stall/occupancy series) and `occupancy` (full-run
+//	    BQ/VQ/TQ histograms) sections, present when the producing spec
+//	    enabled sampling. Version-1 documents decode unchanged.
 const (
 	Schema  = "cfd-results"
-	Version = 1
+	Version = 2
 )
 
 // Document is the top-level export: one tool invocation's results.
@@ -103,6 +112,14 @@ type Run struct {
 	CPIStack stats.CPIStack `json:"cpiStack"`
 	Energy   Energy         `json:"energy"`
 	MSHRHist []uint64       `json:"mshrHist,omitempty"`
+
+	// Timeseries and Occupancy are present when the run's spec enabled
+	// interval sampling (SampleEvery > 0): the per-interval telemetry
+	// series and the full-run architectural queue-occupancy histograms.
+	// Both derive from simulated time only, so they are byte-identical
+	// across -jobs settings like the rest of the document.
+	Timeseries *obs.TimeseriesSection `json:"timeseries,omitempty"`
+	Occupancy  *obs.OccupancySection  `json:"occupancy,omitempty"`
 }
 
 // Counters is the exported subset of pipeline.Stats: every scalar counter,
@@ -195,7 +212,9 @@ func FromResult(res *harness.Result) Run {
 			Queue:   res.EnergyQueue,
 			Events:  res.EnergyEvents,
 		},
-		MSHRHist: hist,
+		MSHRHist:   hist,
+		Timeseries: res.Timeseries,
+		Occupancy:  res.Occupancy,
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"cfd/internal/emu"
 	"cfd/internal/fault"
 	"cfd/internal/mem"
+	"cfd/internal/obs"
 	"cfd/internal/pipeline"
 	"cfd/internal/workload"
 )
@@ -61,6 +62,11 @@ type Runner struct {
 	// every simulation. Expiry surfaces as a WatchdogExpiry fault with a
 	// machine-state snapshot, not a hung sweep.
 	RunTimeout time.Duration
+	// OnProgress, when non-nil, is called after each spec a Sweep
+	// completes — cache hits and (with KeepGoing) failures included.
+	// Calls are serialized across workers; keep the callback fast, it
+	// runs on the sweep's critical path.
+	OnProgress func(ProgressEvent)
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -109,6 +115,9 @@ type cacheEntry struct {
 	spec RunSpec
 	res  *Result
 	err  error
+	// hits counts lookups served by this entry (guarded by Runner.mu); the
+	// harness trace annotates each run's span with it.
+	hits uint64
 }
 
 // NewRunner returns a Runner at the given scale.
@@ -132,6 +141,12 @@ type RunSpec struct {
 	PerfectAll bool // perfect prediction for all conditional branches
 	PerfectCFD bool // perfect prediction for the separable branches only
 	SampleMSHR bool // record the L1 MSHR occupancy histogram (Fig 25a)
+	// SampleEvery, when nonzero, attaches an interval sampler to the run:
+	// the result carries an IPC/stall/occupancy time series sampled every
+	// SampleEvery cycles plus full-run queue-occupancy histograms. It is
+	// part of the cache key: a sampled and an unsampled run of the same
+	// configuration are distinct simulations.
+	SampleEvery uint64
 }
 
 // Result is the outcome of one run.
@@ -146,6 +161,11 @@ type Result struct {
 	// (zero-count events omitted).
 	EnergyEvents map[string]uint64
 	MSHRHist     []uint64
+	// Timeseries and Occupancy are populated when the spec set SampleEvery:
+	// the interval-sampled telemetry series and the full-run architectural
+	// queue-occupancy histograms. Nil otherwise.
+	Timeseries *obs.TimeseriesSection
+	Occupancy  *obs.OccupancySection
 }
 
 // Speedup returns base cycles over r's cycles; both runs must perform the
@@ -167,8 +187,9 @@ func EffIPC(base, r *Result) float64 {
 }
 
 func (rs RunSpec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v", rs.Workload, rs.Variant,
-		rs.Config.Name, rs.Config.BQMissPolicy, rs.PerfectAll, rs.PerfectCFD, rs.SampleMSHR)
+	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v|%d", rs.Workload, rs.Variant,
+		rs.Config.Name, rs.Config.BQMissPolicy, rs.PerfectAll, rs.PerfectCFD, rs.SampleMSHR,
+		rs.SampleEvery)
 }
 
 // Run executes (or recalls) one simulation.
@@ -187,6 +208,7 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 		r.cache = make(map[string]*cacheEntry)
 	}
 	if e, ok := r.cache[key]; ok {
+		e.hits++
 		r.mu.Unlock()
 		r.cacheHits.Add(1)
 		select {
@@ -358,6 +380,11 @@ func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
 	}
 	cfg := rs.Config
 	cfg.Cache.SampleMSHRs = rs.SampleMSHR
+	var obsv *obs.Observer
+	if rs.SampleEvery > 0 {
+		obsv = obs.NewObserver(rs.SampleEvery, cfg.BQSize, cfg.VQSize, cfg.TQSize)
+		opts = append(opts, pipeline.WithObserver(obsv))
+	}
 	core, err := pipeline.New(cfg, p, m, opts...)
 	if err != nil {
 		return nil, err
@@ -365,6 +392,7 @@ func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
 	if err := core.Run(0); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s on %s: %w", rs.Workload, rs.Variant, cfg.Name, err)
 	}
+	core.FinishObservation()
 	if r.Verify {
 		if err := emu.VerifyArch(p, init, core.ArchRegs(), core.Mem(), core.Stats.Retired,
 			emu.WithQueueSizes(cfg.BQSize, cfg.VQSize, cfg.TQSize)); err != nil {
@@ -387,6 +415,8 @@ func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
 		EnergyQueue:   core.Meter.QueueEnergy(),
 		EnergyEvents:  events,
 		MSHRHist:      core.Hierarchy().Hist,
+		Timeseries:    obsv.Timeseries(),
+		Occupancy:     obsv.Occupancy(),
 	}, nil
 }
 

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/obs"
+	"cfd/internal/workload"
+)
+
+func obsSpecs() []RunSpec {
+	return []RunSpec{
+		{Workload: "bzip2like", Variant: workload.Base, Config: config.SandyBridge(), SampleEvery: 256},
+		{Workload: "bzip2like", Variant: workload.CFD, Config: config.SandyBridge(), SampleEvery: 256},
+		{Workload: "soplexlike", Variant: workload.Base, Config: config.SandyBridge(), SampleEvery: 256},
+	}
+}
+
+func TestRunnerSampledResult(t *testing.T) {
+	r := NewRunner(0.02)
+	rs := obsSpecs()[1] // CFD variant: all three queues in play
+	res, err := r.Run(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeseries == nil || len(res.Timeseries.Samples) == 0 {
+		t.Fatal("sampled run returned no time series")
+	}
+	if res.Timeseries.Every != rs.SampleEvery {
+		t.Errorf("series interval %d, spec asked %d", res.Timeseries.Every, rs.SampleEvery)
+	}
+	if res.Occupancy == nil {
+		t.Fatal("sampled run returned no occupancy histograms")
+	}
+	var sum uint64
+	for _, c := range res.Occupancy.BQ.Counts {
+		sum += c
+	}
+	if sum != res.Stats.Cycles {
+		t.Errorf("BQ occupancy counts sum to %d, run took %d cycles", sum, res.Stats.Cycles)
+	}
+	if res.Occupancy.BQ.Max == 0 {
+		t.Error("CFD run never occupied the BQ")
+	}
+
+	// The unsampled spec is a distinct cache key and carries no telemetry.
+	plain := rs
+	plain.SampleEvery = 0
+	pres, err := r.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Timeseries != nil || pres.Occupancy != nil {
+		t.Error("unsampled run carries telemetry sections")
+	}
+	if pres.Stats.Cycles != res.Stats.Cycles {
+		t.Errorf("sampling changed the simulation: %d vs %d cycles", pres.Stats.Cycles, res.Stats.Cycles)
+	}
+	if m := r.Metrics(); m.Simulations != 2 {
+		t.Errorf("expected 2 distinct simulations (sampled + unsampled), got %d", m.Simulations)
+	}
+}
+
+// TestSampledSweepDeterministic: telemetry sections and the harness trace
+// are byte-identical whatever Jobs is set to.
+func TestSampledSweepDeterministic(t *testing.T) {
+	encode := func(jobs int) ([]*Result, []byte) {
+		r := NewRunner(0.02)
+		r.Jobs = jobs
+		if _, err := r.Sweep(context.Background(), obsSpecs()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Trace().Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return r.Results(), buf.Bytes()
+	}
+	res1, tr1 := encode(1)
+	res8, tr8 := encode(8)
+	if len(res1) != len(res8) {
+		t.Fatalf("result counts differ: %d vs %d", len(res1), len(res8))
+	}
+	for i := range res1 {
+		if !reflect.DeepEqual(res1[i].Timeseries, res8[i].Timeseries) {
+			t.Errorf("result %d: time series differ between -jobs=1 and -jobs=8", i)
+		}
+		if !reflect.DeepEqual(res1[i].Occupancy, res8[i].Occupancy) {
+			t.Errorf("result %d: occupancy differs between -jobs=1 and -jobs=8", i)
+		}
+	}
+	if !bytes.Equal(tr1, tr8) {
+		t.Error("harness Perfetto trace differs between -jobs=1 and -jobs=8")
+	}
+}
+
+func TestHarnessTrace(t *testing.T) {
+	r := NewRunner(0.02)
+	specs := obsSpecs()
+	if _, err := r.Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run one spec so its span shows a cache hit.
+	if _, err := r.Run(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Trace().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("harness trace does not validate: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"cfd experiment harness"`, `"sweep (virtual time)"`,
+		`"bzip2like/base @ sandybridge-like"`, `"cacheHits": 1`, `"ipc"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %q in:\n%.2000s", want, out)
+		}
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		r := NewRunner(0.02)
+		r.Jobs = jobs
+		var mu sync.Mutex
+		var events []ProgressEvent
+		r.OnProgress = func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+		specs := obsSpecs()
+		if _, err := r.Sweep(context.Background(), specs); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(specs) {
+			t.Fatalf("jobs=%d: %d progress events for %d specs", jobs, len(events), len(specs))
+		}
+		for i, ev := range events {
+			if ev.Completed != i+1 || ev.Total != len(specs) {
+				t.Errorf("jobs=%d: event %d = %d/%d, want %d/%d",
+					jobs, i, ev.Completed, ev.Total, i+1, len(specs))
+			}
+			if ev.Err != nil {
+				t.Errorf("jobs=%d: unexpected failure for %s: %v", jobs, ev.Spec.Workload, ev.Err)
+			}
+		}
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	r := NewRunner(0.02)
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	if _, err := r.Run(obsSpecs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["harness.lookups"] != 1 || snap["harness.simulations"] != 1 {
+		t.Errorf("probe snapshot %v, want 1 lookup / 1 simulation", snap)
+	}
+	r.RegisterMetrics(nil) // no-op, not a panic
+}

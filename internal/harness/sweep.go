@@ -27,12 +27,14 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 	if jobs > len(specs) {
 		jobs = len(specs)
 	}
+	report := r.progressReporter(len(specs))
 	if jobs <= 1 {
 		for i, rs := range specs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			res, err := r.RunCtx(ctx, rs)
+			report(rs, err)
 			if err != nil {
 				if r.KeepGoing && ctx.Err() == nil {
 					continue
@@ -63,6 +65,7 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 					continue
 				}
 				res, err := r.RunCtx(ctx, specs[i])
+				report(specs[i], err)
 				if err != nil {
 					errs[i] = err
 					if !r.KeepGoing {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildTrace() *Trace {
+	tr := NewTrace()
+	tr.NameProcess(1, "core")
+	tr.NameThread(1, 1, "fetch")
+	tr.Span(1, 1, "add r1,r2,r3", "inst", 5, 3, map[string]interface{}{"seq": 7})
+	tr.Span(1, 1, "beq r1,r0", "inst", 2, 4, nil)
+	tr.Counter(1, "ipc", 10, map[string]interface{}{"ipc": 2.5})
+	tr.Span(1, 1, "zero-dur", "inst", 10, 0, nil)
+	return tr
+}
+
+func TestTraceEncodeSortedAndValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Metadata first, then body sorted by timestamp.
+	if !strings.Contains(out, `"traceEvents"`) {
+		t.Error("missing traceEvents wrapper")
+	}
+	if i, j := strings.Index(out, "process_name"), strings.Index(out, "beq"); i > j {
+		t.Error("metadata not emitted before body events")
+	}
+	if i, j := strings.Index(out, "beq"), strings.Index(out, "add"); i > j {
+		t.Error("events not sorted by timestamp")
+	}
+	n, err := ValidateTrace(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emitted trace does not validate: %v", err)
+	}
+	if n != 6 {
+		t.Errorf("validated %d events, want 6", n)
+	}
+}
+
+func TestTraceEncodeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace().Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace().Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical traces encode differently")
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":            `{"traceEvents": [`,
+		"unknown phase":       `{"traceEvents":[{"name":"a","ph":"?","ts":1,"pid":1,"tid":1}]}`,
+		"empty name":          `{"traceEvents":[{"name":"","ph":"X","ts":1,"dur":1,"pid":1,"tid":1}]}`,
+		"backwards timestamp": `{"traceEvents":[{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},{"name":"b","ph":"X","ts":4,"dur":1,"pid":1,"tid":1}]}`,
+		"late metadata":       `{"traceEvents":[{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},{"name":"process_name","ph":"M","pid":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Equal timestamps are fine.
+	ok := `{"traceEvents":[{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}]}`
+	if _, err := ValidateTrace(strings.NewReader(ok)); err != nil {
+		t.Errorf("equal timestamps rejected: %v", err)
+	}
+}

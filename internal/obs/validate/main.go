@@ -1,0 +1,29 @@
+// Command validate checks that a Chrome/Perfetto trace-event file is
+// well-formed: valid JSON in the object form, known event phases, and
+// monotonically non-decreasing timestamps. CI runs it against the trace
+// artifact every build.
+//
+// Usage: go run ./internal/obs/validate trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cfd/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		n, err := obs.ValidateTraceFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: OK (%d events)\n", path, n)
+	}
+}

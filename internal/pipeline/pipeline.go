@@ -29,6 +29,7 @@ import (
 	"cfd/internal/fault"
 	"cfd/internal/isa"
 	"cfd/internal/mem"
+	"cfd/internal/obs"
 	"cfd/internal/predictor"
 	"cfd/internal/prog"
 	"cfd/internal/stats"
@@ -299,6 +300,7 @@ type Core struct {
 	done            bool
 	lastRetireCycle uint64
 	trace           *tracer
+	obsv            *obs.Observer
 
 	// Hardened-runtime state: the watchdog bounding Run, the
 	// no-retirement-progress limit, and the last-retired diagnostic ring
@@ -364,6 +366,14 @@ func WithOracle(o *Oracle) Option { return func(c *Core) { c.oracle = o } }
 // WithPerfectBP makes every conditional branch consult the oracle
 // (full perfect prediction); requires WithOracle.
 func WithPerfectBP() Option { return func(c *Core) { c.perfectBP = true } }
+
+// WithObserver attaches an interval sampler and queue-occupancy profiler to
+// the core: every cycle it observes BQ/VQ/TQ occupancy, and at each
+// sampling boundary it snapshots interval IPC, mispredicts/KI, fetch/BQ/TQ
+// stall fractions, and cache MPKI into the observer's time series. A nil
+// observer is valid and free: the per-cycle hook is skipped entirely (the
+// zero-overhead-when-disabled contract, pinned by the obs benchmarks).
+func WithObserver(o *obs.Observer) Option { return func(c *Core) { c.obsv = o } }
 
 // WithWatchdog bounds Run with a cycle budget and/or wall-clock deadline.
 // Expiry surfaces as a fault.WatchdogExpiry fault carrying a machine-state
@@ -463,11 +473,51 @@ func (c *Core) Cycle() error {
 		return err
 	}
 	c.attributeCycle()
+	if c.obsv != nil {
+		c.obsTick()
+	}
 	c.now++
 	c.Stats.Cycles++
 	c.Meter.AddCycles(1)
 	return nil
 }
+
+// obsTick feeds the attached observer after a cycle's stages have acted:
+// per-cycle queue occupancies, and a time-series sample at each boundary.
+func (c *Core) obsTick() {
+	o := c.obsv
+	o.TickQueues(c.bq.length(), c.vq.length(), c.tq.length())
+	if cyc := c.now + 1; o.Due(cyc) {
+		o.Record(c.intervalCounters(cyc))
+	}
+}
+
+// intervalCounters snapshots the cumulative counters the observer turns
+// into interval rates. Stall cycles come from the CPI stack, so the series'
+// stall fractions agree with the end-of-run attribution by construction.
+func (c *Core) intervalCounters(cycle uint64) obs.IntervalCounters {
+	_, l1Misses := c.hier.LevelStats(cache.L1)
+	return obs.IntervalCounters{
+		Cycle:            cycle,
+		Retired:          c.Stats.Retired,
+		Mispredicts:      c.Stats.Mispredicts,
+		FetchStallCycles: c.Stats.CPI.Buckets[stats.CPIFetchStall],
+		BQStallCycles:    c.Stats.CPI.Buckets[stats.CPIBQStall],
+		TQStallCycles:    c.Stats.CPI.Buckets[stats.CPITQStall],
+		CacheMisses:      l1Misses,
+	}
+}
+
+// FinishObservation flushes the observer's partial final interval. Callers
+// that attach an observer should call it once after Run returns.
+func (c *Core) FinishObservation() {
+	if c.obsv != nil {
+		c.obsv.Finish(c.intervalCounters(c.now))
+	}
+}
+
+// Observer returns the attached observer (nil when observability is off).
+func (c *Core) Observer() *obs.Observer { return c.obsv }
 
 // Run executes until HALT retires or maxRetired instructions have retired
 // (0 = no limit). It returns ErrLimit if the budget ran out first.

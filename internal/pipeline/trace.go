@@ -7,19 +7,22 @@ import (
 
 // TraceEvent records one instruction's flow through the pipeline stages.
 type TraceEvent struct {
-	Seq      uint64
-	PC       uint64
-	Inst     string
-	FetchAt  uint64
-	RenameAt uint64
-	IssueAt  uint64
-	DoneAt   uint64
-	RetireAt uint64
-	Squashed bool
+	Seq        uint64
+	PC         uint64
+	Inst       string
+	FetchAt    uint64
+	RenameAt   uint64
+	IssueAt    uint64
+	DoneAt     uint64
+	RetireAt   uint64
+	Squashed   bool
+	Mispredict bool
 }
 
-// tracer collects the first Limit instructions' stage timestamps.
+// tracer collects stage timestamps for a window of the instruction stream:
+// skip instructions pass uncaptured, then limit instructions are recorded.
 type tracer struct {
+	skip   int
 	limit  int
 	events []TraceEvent
 }
@@ -31,20 +34,33 @@ func WithTrace(limit int) Option {
 	return func(c *Core) { c.trace = &tracer{limit: limit} }
 }
 
+// WithTraceWindow enables pipeline tracing for limit instructions starting
+// after the first start instructions have left the pipeline (retired or
+// squashed) — a mid-run window that captures steady-state behaviour
+// instead of only warm-up.
+func WithTraceWindow(start, limit int) Option {
+	return func(c *Core) { c.trace = &tracer{skip: start, limit: limit} }
+}
+
 func (c *Core) traceRecord(u *uop) {
 	if c.trace == nil || len(c.trace.events) >= c.trace.limit {
 		return
 	}
+	if c.trace.skip > 0 {
+		c.trace.skip--
+		return
+	}
 	c.trace.events = append(c.trace.events, TraceEvent{
-		Seq:      u.seq,
-		PC:       u.pc,
-		Inst:     u.inst.String(),
-		FetchAt:  u.fetchAt,
-		RenameAt: u.renameAt,
-		IssueAt:  u.issueAt,
-		DoneAt:   u.doneAt,
-		RetireAt: c.now,
-		Squashed: u.squashed,
+		Seq:        u.seq,
+		PC:         u.pc,
+		Inst:       u.inst.String(),
+		FetchAt:    u.fetchAt,
+		RenameAt:   u.renameAt,
+		IssueAt:    u.issueAt,
+		DoneAt:     u.doneAt,
+		RetireAt:   c.now,
+		Squashed:   u.squashed,
+		Mispredict: u.mispredict,
 	})
 }
 

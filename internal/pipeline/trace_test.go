@@ -57,6 +57,44 @@ func TestPipeviewTrace(t *testing.T) {
 	}
 }
 
+// TestPipeviewTraceWindow captures a mid-run window: the trace must skip
+// the warm-up and render steady-state instructions only.
+func TestPipeviewTraceWindow(t *testing.T) {
+	const n = 200
+	const start, limit = 500, 60
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(n, 100, 41))
+	core, err := New(testConfig(), condLoop(0x10000, 0x80000, n, 50), m, WithTraceWindow(start, limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := core.Trace()
+	if len(evs) != limit {
+		t.Fatalf("windowed trace collected %d events, want %d", len(evs), limit)
+	}
+	for i, e := range evs {
+		// Every traced uop is a distinct instruction, so after skipping
+		// `start` of them the sequence numbers must be past the warm-up.
+		if e.Seq < start {
+			t.Errorf("event %d: seq %d predates the window start %d", i, e.Seq, start)
+		}
+		if e.FetchAt == 0 {
+			t.Errorf("event %d: mid-run instruction fetched at cycle 0", i)
+		}
+	}
+	view := core.Pipeview()
+	if !strings.Contains(view, "cycle origin") {
+		t.Errorf("windowed Pipeview did not render:\n%s", view)
+	}
+	// The cycle origin is the window's first fetch, not the run's start.
+	if strings.Contains(view, "cycle origin 0,") {
+		t.Error("windowed Pipeview anchored at cycle 0 (window not applied)")
+	}
+}
+
 func TestPipeviewWithoutTrace(t *testing.T) {
 	core, err := New(testConfig(), condLoop(0x10000, 0x80000, 5, 50), nil)
 	if err != nil {
