@@ -71,7 +71,14 @@ type (
 	// Kernel is a structured loop the automatic CFD pass can transform
 	// (the paper's compiler-pass analog, §III-B).
 	Kernel = xform.Kernel
+	// KernelParams carries the queue capacities the pass strip-mines
+	// against; derive them from a core config with KernelParamsFor.
+	KernelParams = xform.Params
 )
+
+// KernelParamsFor extracts the transformation parameters (BQ/VQ/TQ
+// capacities) from a core configuration.
+func KernelParamsFor(cfg CoreConfig) KernelParams { return xform.ParamsFrom(cfg) }
 
 // Workload variants.
 const (

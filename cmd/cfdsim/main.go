@@ -8,7 +8,13 @@
 //	       [-pipeview N] [-verify] [-json out.json]
 //	       [-sample-every N] [-trace-out trace.json] [-trace-start N] [-trace-limit N]
 //	       [-max-cycles N] [-deadline 30s]
+//	cfdsim -classify [-workload soplexlike]
 //	cfdsim -inject 200 [-seed 1] [-json report.json]
+//
+// -classify prints the §II-B separability taxonomy for each kernel-shaped
+// workload: the hard branch's class and, per pass-pipeline transform, the
+// accept/reject verdict with the rejection reason. Workloads without a
+// kernel form (the classification-study set) are listed as hand-built.
 //
 // -sample-every N attaches an interval sampler: IPC, MPKI, stall fractions,
 // and BQ/VQ/TQ occupancy are recorded every N cycles, full-run occupancy
@@ -58,6 +64,7 @@ import (
 	"cfd/internal/pipeline"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
+	"cfd/internal/xform"
 )
 
 // occupancyChart renders one queue's full-run occupancy histogram as an
@@ -104,6 +111,7 @@ func main() {
 		depth    = flag.Int("depth", 10, "minimum fetch-to-execute latency in cycles")
 		bqmiss   = flag.String("bqmiss", "spec", "BQ miss policy: spec (speculative pop) or stall")
 		list     = flag.Bool("list", false, "list workloads and variants")
+		classify = flag.Bool("classify", false, "print each kernel's separability class and per-transform accept/reject reasons")
 		dumpAsm  = flag.Bool("dump-asm", false, "print the program disassembly and exit")
 		branches = flag.Bool("branches", false, "print per-static-branch statistics")
 		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
@@ -131,6 +139,15 @@ func main() {
 		for _, s := range workload.All() {
 			fmt.Printf("%-16s %-40s variants=%v defaultN=%d\n", s.Name, s.Analog, s.Variants, s.DefaultN)
 		}
+		return
+	}
+
+	if *classify {
+		only := ""
+		if isFlagSet("workload") {
+			only = *name
+		}
+		runClassify(only)
 		return
 	}
 
@@ -350,6 +367,57 @@ func runCampaign(n int, seed int64, jsonPath string) {
 	}
 	if rep.Injected < n {
 		fatalf("only %d of %d requested injections applied", rep.Injected, n)
+	}
+}
+
+// isFlagSet reports whether the named flag was given on the command line.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runClassify prints the §II-B taxonomy: for every kernel-shaped workload
+// (or just the named one), the hard branch's separability class and, for
+// each pass-pipeline transform, whether the kernel is accepted or why it
+// is rejected. Workloads that still hand-build their programs (the
+// classification-study set) have no kernel form to analyze.
+func runClassify(only string) {
+	found := false
+	for _, s := range workload.All() {
+		if only != "" && s.Name != only {
+			continue
+		}
+		found = true
+		if s.Kernel == nil {
+			fmt.Printf("%-16s hand-built (no kernel form; class %v)\n\n", s.Name, s.Class)
+			continue
+		}
+		f, _, err := s.Kernel(s.TestN)
+		if err != nil {
+			fatalf("%s: kernel: %v", s.Name, err)
+		}
+		cls, clsErr := f.Classify()
+		fmt.Printf("%-16s class %v", s.Name, cls)
+		if clsErr != nil {
+			fmt.Printf(" (%v)", clsErr)
+		}
+		fmt.Println()
+		for _, st := range xform.Acceptance(f, xform.DefaultParams()) {
+			if st.Err == nil {
+				fmt.Printf("  %-9s accept\n", st.Transform)
+			} else {
+				fmt.Printf("  %-9s reject — %v\n", st.Transform, st.Err)
+			}
+		}
+		fmt.Println()
+	}
+	if !found {
+		fatalf("unknown workload %q (use -list)", only)
 	}
 }
 

@@ -73,14 +73,15 @@ func main() {
 		1 /* r7 = a[i] */)
 
 	var baseCycles uint64
+	params := cfd.KernelParamsFor(cfd.Baseline())
 	schemes := []struct {
 		name  string
 		build func() (*cfd.Program, error)
 	}{
 		{"base", k.Base},
-		{"auto-cfd", func() (*cfd.Program, error) { return k.CFD(false) }},
-		{"auto-cfd+", func() (*cfd.Program, error) { return k.CFD(true) }},
-		{"auto-dfd", k.DFD},
+		{"auto-cfd", func() (*cfd.Program, error) { return k.CFD(params, false) }},
+		{"auto-cfd+", func() (*cfd.Program, error) { return k.CFD(params, true) }},
+		{"auto-dfd", func() (*cfd.Program, error) { return k.DFD(params) }},
 	}
 	var goldenMem *cfd.Memory
 	for _, s := range schemes {
@@ -111,7 +112,7 @@ func main() {
 	// the slice reads.
 	bad := kernel()
 	bad.CD = append(bad.CD, cfd.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1})
-	if _, err := bad.CFD(false); err != nil {
+	if _, err := bad.CFD(params, false); err != nil {
 		fmt.Printf("inseparable loop correctly rejected: %v\n", err)
 	}
 }

@@ -46,7 +46,7 @@ func runIfConvCrossover(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cfdP, err := k.CFD(true)
+		cfdP, err := k.CFD(xform.ParamsFrom(config.SandyBridge()), true)
 		if err != nil {
 			return err
 		}

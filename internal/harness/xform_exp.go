@@ -55,13 +55,14 @@ func runXformAblation(r *Runner, w io.Writer) error {
 		NoAlias: true,
 		Note:    "auto: test[i] > theeps",
 	}
+	params := xform.ParamsFrom(config.SandyBridge())
 	cls, err := k.Classify()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "pass classification: %s\n", cls)
 	comm := 0
-	if p, err := k.CFD(false); err == nil {
+	if p, err := k.CFD(params, false); err == nil {
 		for _, in := range p.Insts {
 			if in.Op == isa.PushBQ {
 				comm++
@@ -87,9 +88,9 @@ func runXformAblation(r *Runner, w io.Writer) error {
 		build func() (*prog.Program, error)
 	}{
 		{"base", k.Base},
-		{"auto-cfd", func() (*prog.Program, error) { return k.CFD(false) }},
-		{"auto-cfd+", func() (*prog.Program, error) { return k.CFD(true) }},
-		{"auto-dfd", k.DFD},
+		{"auto-cfd", func() (*prog.Program, error) { return k.CFD(params, false) }},
+		{"auto-cfd+", func() (*prog.Program, error) { return k.CFD(params, true) }},
+		{"auto-dfd", func() (*prog.Program, error) { return k.DFD(params) }},
 	}
 	// All four schemes simulate concurrently; rows are assembled in the
 	// fixed step order with the base row's cycles as the speedup anchor.

@@ -4,6 +4,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // mcflike mirrors mcf's arc-scanning loops (primal_bea_mpp analog): the
@@ -15,10 +16,11 @@ import (
 //
 // Arc record layout (8 fields of 8 bytes): [cost, flow, ident, a, b, c, d, e].
 //
-// Register conventions follow soplexlike, with r1 the arc cursor.
+// Register conventions follow soplexlike, with r1 the arc cursor and r21
+// the record pointer the CD region indexes from (part of the branch slice,
+// so the pass recomputes it in the consuming loop).
 const (
 	mcfArcBase  = 0x4000_0000
-	mcfOutBase  = 0x6000_0000
 	mcfResult   = 0x0048_0000
 	mcfArcN     = 64 << 10 // 64K arcs × 64B = 4MB: exceeds the 2MB L3
 	mcfArcBytes = 64
@@ -34,7 +36,7 @@ func init() {
 		Variants: []Variant{Base, CFD, DFD, CFDDFD},
 		DefaultN: 120_000,
 		TestN:    3_000,
-		Build:    buildMcf,
+		Kernel:   mcfKernel,
 	})
 }
 
@@ -51,122 +53,55 @@ func mcfMem() *mem.Memory {
 	return m
 }
 
-// mcfCD: the CD region reads more arc fields and updates the arc — work
-// the wrong path would waste on a misprediction.
-func mcfCD(b *prog.Builder) {
-	b.Load(isa.LD, 9, 21, 8)   // flow
-	b.Load(isa.LD, 10, 21, 16) // ident
-	b.R(isa.ADD, 11, 9, 10)
-	b.R(isa.MUL, 11, 11, 15)
-	b.Store(isa.SD, 11, 21, 24) // arc->a = ...
-	b.R(isa.ADD, 12, 12, 11)
-	b.I(isa.ADDI, 13, 13, 1)
-	b.R(isa.XOR, 25, 12, 13)
-	b.I(isa.SHRI, 25, 25, 3)
-	b.R(isa.ADD, 12, 12, 25)
-}
-
-func buildMcf(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-	passN := n
-	if passN > mcfArcN {
-		passN = mcfArcN
-	}
+func mcfKernel(n int64) (xform.Form, *mem.Memory, error) {
+	passN := min(n, mcfArcN)
 	passes := (n + passN - 1) / passN
-
-	b := prog.NewBuilder()
-	b.Li(3, 500) // threshold
-	b.Li(12, 0)
-	b.Li(13, 0)
-	b.Li(15, 3)
-	b.Li(20, passes)
-	b.Label("pass")
-	b.Li(1, mcfArcBase)
-	b.Li(4, passN)
-
-	emitBaseLoop := func(counter isa.Reg, loop, done string) {
-		b.Label(loop)
-		b.Load(isa.LD, 7, 1, 0) // cost
-		b.R(isa.SLT, 8, 7, 3)
-		b.Mov(21, 1)
-		b.Note("arc->cost < cutoff", prog.SeparableTotal)
-		b.Branch(isa.BEQ, 8, 0, "skip"+loop)
-		mcfCD(b)
-		b.Label("skip" + loop)
-		b.I(isa.ADDI, 1, 1, mcfArcBytes)
-		b.I(isa.ADDI, counter, counter, -1)
-		b.Branch(isa.BNE, counter, 0, loop)
-		_ = done
+	k := &xform.Kernel{
+		Name: "mcflike",
+		Init: []isa.Inst{
+			li(3, 500), // threshold
+			li(12, 0),
+			li(13, 0),
+			li(15, 3),
+			li(20, passes),
+		},
+		PassInit: []isa.Inst{
+			li(1, mcfArcBase),
+			li(4, passN),
+		},
+		Slice: []isa.Inst{
+			ld(isa.LD, 7, 1, 0), // cost
+			rr(isa.SLT, 8, 7, 3),
+			ri(isa.ADDI, 21, 1, 0), // record pointer for the CD region
+		},
+		// The CD region reads more arc fields and updates the arc — work
+		// the wrong path would waste on a misprediction.
+		CD: []isa.Inst{
+			ld(isa.LD, 9, 21, 8),   // flow
+			ld(isa.LD, 10, 21, 16), // ident
+			rr(isa.ADD, 11, 9, 10),
+			rr(isa.MUL, 11, 11, 15),
+			st(isa.SD, 11, 21, 24), // arc->a = ...
+			rr(isa.ADD, 12, 12, 11),
+			ri(isa.ADDI, 13, 13, 1),
+			rr(isa.XOR, 25, 12, 13),
+			ri(isa.SHRI, 25, 25, 3),
+			rr(isa.ADD, 12, 12, 25),
+		},
+		Step: []isa.Inst{
+			ri(isa.ADDI, 1, 1, mcfArcBytes),
+		},
+		Fini: []isa.Inst{
+			li(30, mcfResult),
+			st(isa.SD, 12, 30, 0),
+			st(isa.SD, 13, 30, 8),
+		},
+		Pred:    8,
+		Counter: 4,
+		Passes:  20,
+		Scratch: []isa.Reg{16, 17, 18},
+		NoAlias: true,
+		Note:    "arc->cost < cutoff",
 	}
-
-	switch v {
-	case Base:
-		emitBaseLoop(4, "loop", "")
-
-	case CFD, CFDDFD:
-		b.Label("chunk")
-		emitMinChunk(b)
-		if v == CFDDFD {
-			b.Mov(23, 1)
-			b.Mov(24, 16)
-			b.Label("pf")
-			b.Pref(23, 0)
-			b.I(isa.ADDI, 23, 23, mcfArcBytes)
-			b.I(isa.ADDI, 24, 24, -1)
-			b.Branch(isa.BNE, 24, 0, "pf")
-		}
-		b.Mov(18, 16)
-		b.Mov(19, 1)
-		b.Label("gen")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 7, 3)
-		b.PushBQ(8)
-		b.I(isa.ADDI, 1, 1, mcfArcBytes)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "gen")
-		b.Mov(18, 16)
-		b.Mov(21, 19)
-		b.Label("use")
-		b.Note("arc->cost < cutoff (decoupled)", prog.SeparableTotal)
-		b.BranchBQ("work")
-		b.Jump("skip")
-		b.Label("work")
-		mcfCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 21, 21, mcfArcBytes)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "use")
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-
-	case DFD:
-		b.Label("chunk")
-		emitMinChunk(b)
-		b.Mov(23, 1)
-		b.Mov(24, 16)
-		b.Label("pf")
-		b.Pref(23, 0)
-		b.I(isa.ADDI, 23, 23, mcfArcBytes)
-		b.I(isa.ADDI, 24, 24, -1)
-		b.Branch(isa.BNE, 24, 0, "pf")
-		b.Mov(18, 16)
-		emitBaseLoop(18, "loop", "")
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-
-	default:
-		return nil, nil, badVariant("mcflike", v)
-	}
-
-	b.I(isa.ADDI, 20, 20, -1)
-	b.Branch(isa.BNE, 20, 0, "pass")
-	b.Li(30, mcfResult)
-	b.Store(isa.SD, 12, 30, 0)
-	b.Store(isa.SD, 13, 30, 8)
-	b.Halt()
-
-	p, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, mcfMem(), nil
+	return k, mcfMem(), nil
 }

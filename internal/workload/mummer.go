@@ -4,6 +4,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // mummerlike mirrors the BioBench suffix-tree matching kernels (mummer):
@@ -32,7 +33,7 @@ func init() {
 		Variants: []Variant{Base, CFD},
 		DefaultN: 150_000,
 		TestN:    3_000,
-		Build:    buildMummer,
+		Kernel:   mummerKernel,
 	})
 }
 
@@ -51,100 +52,58 @@ func mummerMem() *mem.Memory {
 	return m
 }
 
-// mummerCD: the match-bookkeeping region — extension length update, score
-// mix, and an output append.
-func mummerCD(b *prog.Builder) {
-	b.I(isa.ADDI, 10, 10, 1) // extension length
-	b.R(isa.ADD, 12, 12, 7)
-	b.R(isa.MUL, 11, 10, 15)
-	b.R(isa.XOR, 11, 11, 12)
-	b.I(isa.SHLI, 25, 13, 3)
-	b.R(isa.ADD, 25, 25, 14)
-	b.Store(isa.SD, 11, 25, 0) // out[cnt] = score
-	b.I(isa.ADDI, 13, 13, 1)
-	b.I(isa.SHRI, 11, 11, 4)
-	b.R(isa.ADD, 12, 12, 11)
-}
-
-func buildMummer(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-	passN := n
-	if passN > mummerArrN {
-		passN = mummerArrN
-	}
+func mummerKernel(n int64) (xform.Form, *mem.Memory, error) {
+	passN := min(n, mummerArrN)
 	passes := (n + passN - 1) / passN
-
-	b := prog.NewBuilder()
-	b.Li(10, 0) // extension length
-	b.Li(12, 0) // score
-	b.Li(13, 0) // out count
-	b.Li(14, mummerOutBase)
-	b.Li(15, 3)
-	b.Li(20, passes)
-	b.Label("pass")
-	b.Li(1, mummerRefBase)
-	b.Li(2, mummerQryBase)
-	b.Li(4, passN)
-
-	switch v {
-	case Base:
-		b.Label("loop")
-		b.Load(isa.LBU, 7, 1, 0) // ref char
-		b.Load(isa.LBU, 9, 2, 0) // query char
-		b.R(isa.SEQ, 8, 7, 9)
-		b.Note("ref[i] == qry[i]", prog.SeparableTotal)
-		b.Branch(isa.BEQ, 8, 0, "skip")
-		mummerCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 1, 1, 1)
-		b.I(isa.ADDI, 2, 2, 1)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Branch(isa.BNE, 4, 0, "loop")
-
-	case CFD:
-		b.Label("chunk")
-		emitMinChunk(b)
-		b.Mov(18, 16)
-		b.Mov(19, 1)
-		b.Mov(21, 2)
-		b.Label("gen")
-		b.Load(isa.LBU, 7, 1, 0)
-		b.Load(isa.LBU, 9, 2, 0)
-		b.R(isa.SEQ, 8, 7, 9)
-		b.PushBQ(8)
-		b.I(isa.ADDI, 1, 1, 1)
-		b.I(isa.ADDI, 2, 2, 1)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "gen")
-		b.Mov(18, 16)
-		b.Mov(22, 19)
-		b.Label("use")
-		b.Note("ref[i] == qry[i] (decoupled)", prog.SeparableTotal)
-		b.BranchBQ("work")
-		b.Jump("skip")
-		b.Label("work")
-		b.Load(isa.LBU, 7, 22, 0) // reload the matched character
-		mummerCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 22, 22, 1)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "use")
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-
-	default:
-		return nil, nil, badVariant("mummerlike", v)
+	k := &xform.Kernel{
+		Name: "mummerlike",
+		Init: []isa.Inst{
+			li(10, 0), // extension length
+			li(12, 0), // score
+			li(13, 0), // out count
+			li(14, mummerOutBase),
+			li(15, 3),
+			li(20, passes),
+		},
+		PassInit: []isa.Inst{
+			li(1, mummerRefBase),
+			li(2, mummerQryBase),
+			li(4, passN),
+		},
+		Slice: []isa.Inst{
+			ld(isa.LBU, 7, 1, 0), // ref char
+			ld(isa.LBU, 9, 2, 0), // query char
+			rr(isa.SEQ, 8, 7, 9),
+		},
+		// The match-bookkeeping region — extension length update, score
+		// mix, and an output append.
+		CD: []isa.Inst{
+			ri(isa.ADDI, 10, 10, 1), // extension length
+			rr(isa.ADD, 12, 12, 7),
+			rr(isa.MUL, 11, 10, 15),
+			rr(isa.XOR, 11, 11, 12),
+			ri(isa.SHLI, 25, 13, 3),
+			rr(isa.ADD, 25, 25, 14),
+			st(isa.SD, 11, 25, 0), // out[cnt] = score
+			ri(isa.ADDI, 13, 13, 1),
+			ri(isa.SHRI, 11, 11, 4),
+			rr(isa.ADD, 12, 12, 11),
+		},
+		Step: []isa.Inst{
+			ri(isa.ADDI, 1, 1, 1),
+			ri(isa.ADDI, 2, 2, 1),
+		},
+		Fini: []isa.Inst{
+			li(30, mummerResult),
+			st(isa.SD, 12, 30, 0),
+			st(isa.SD, 13, 30, 8),
+		},
+		Pred:    8,
+		Counter: 4,
+		Passes:  20,
+		Scratch: []isa.Reg{16, 17, 18, 19},
+		NoAlias: true,
+		Note:    "ref[i] == qry[i]",
 	}
-
-	b.I(isa.ADDI, 20, 20, -1)
-	b.Branch(isa.BNE, 20, 0, "pass")
-	b.Li(30, mummerResult)
-	b.Store(isa.SD, 12, 30, 0)
-	b.Store(isa.SD, 13, 30, 8)
-	b.Halt()
-
-	p, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, mummerMem(), nil
+	return k, mummerMem(), nil
 }

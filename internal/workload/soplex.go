@@ -4,6 +4,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // soplexlike mirrors the soplex kernel of paper Figs 8 and 11: a loop
@@ -11,16 +12,16 @@ import (
 // large control-dependent region that updates pricing state. The branch is
 // totally separable: neither test[] nor theeps changes inside the region.
 //
-// Variants: base; cfd (strip-mined two-loop decoupling, reloading x in the
-// second loop); cfd+ (communicates x through the VQ, Fig 11); dfd
-// (prefetch loop, §V); cfd+dfd (Fig 26).
+// The workload is a single kernel description; every variant — base, cfd
+// (strip-mined two-loop decoupling, recomputing x in the second loop), cfd+
+// (x through the VQ, Fig 11), dfd (prefetch loop, §V), and cfd+dfd (Fig 26)
+// — is generated from it by the xform pass pipeline.
 //
 // Register conventions:
 //
 //	r1 test ptr   r2 out ptr    r3 theeps     r4 remaining  r5 count
 //	r6 best       r7 x          r8 predicate  r9-r13 CD temps
-//	r14 out2 ptr  r15 const 3   r16 chunkN    r17 tmp       r18 j
-//	r19 saved ptr r20 passes    r21 reload ptr r22 pf ptr   r23 pf cnt
+//	r14 out2 ptr  r15 const 3   r20 passes    r16-r21 pass scratch
 const (
 	soplexTestBase = 0x0100_0000
 	soplexOutBase  = 0x0200_0000
@@ -40,7 +41,7 @@ func init() {
 		Variants: []Variant{Base, CFD, CFDPlus, DFD, CFDDFD},
 		DefaultN: 200_000,
 		TestN:    4_000,
-		Build:    buildSoplex,
+		Kernel:   soplexKernel,
 	})
 }
 
@@ -55,198 +56,60 @@ func soplexMem(n int64) *mem.Memory {
 	return m
 }
 
-// soplexCD emits the control-dependent region: x is in r7, stores go
-// through r2 (out) and r14 (out2), and the loop-carried count (r5) and
-// best (r6) update. Identical across all variants.
-func soplexCD(b *prog.Builder) {
-	b.R(isa.MUL, 9, 7, 15)
-	b.I(isa.ADDI, 9, 9, 17)
-	b.R(isa.XOR, 10, 7, 6)
-	b.Store(isa.SD, 9, 2, 0)
-	b.I(isa.ADDI, 5, 5, 1)
-	b.R(isa.SLT, 11, 6, 7)
-	b.R(isa.CMOVNZ, 6, 7, 11)
-	b.I(isa.SHRI, 12, 9, 2)
-	b.R(isa.ADD, 13, 12, 5)
-	b.R(isa.ADD, 13, 13, 10)
-	b.Store(isa.SD, 13, 14, 0)
-}
-
-// soplexProlog emits the pass-invariant setup and returns after emitting
-// the per-pass pointer reset label "pass".
-func soplexProlog(b *prog.Builder, n int64) {
-	passN := n
-	if passN > soplexArrN {
-		passN = soplexArrN
-	}
+func soplexKernel(n int64) (xform.Form, *mem.Memory, error) {
+	passN := min(n, soplexArrN)
 	passes := (n + passN - 1) / passN
-	b.Li(3, soplexTheeps)
-	b.Li(5, 0)
-	b.Li(6, 0)
-	b.Li(15, 3)
-	b.Li(20, passes)
-	b.Label("pass")
-	b.Li(1, soplexTestBase)
-	b.Li(2, soplexOutBase)
-	b.Li(14, soplexOut2Base)
-	b.Li(4, passN)
-}
-
-// soplexEpilog closes the pass loop and stores the results.
-func soplexEpilog(b *prog.Builder) {
-	b.I(isa.ADDI, 20, 20, -1)
-	b.Branch(isa.BNE, 20, 0, "pass")
-	b.Li(30, soplexResult)
-	b.Store(isa.SD, 5, 30, 0)
-	b.Store(isa.SD, 6, 30, 8)
-	b.Halt()
-}
-
-// emitMinChunkN sets r16 = min(size, r4) using a conditional move.
-func emitMinChunkN(b *prog.Builder, size int64) {
-	b.Li(16, size)
-	b.R(isa.SLT, 17, 4, 16)
-	b.R(isa.CMOVNZ, 16, 4, 17)
-}
-
-// emitMinChunk sets r16 = min(ChunkSize, r4).
-func emitMinChunk(b *prog.Builder) { emitMinChunkN(b, ChunkSize) }
-
-func buildSoplex(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-	b := prog.NewBuilder()
-	switch v {
-	case Base:
-		soplexProlog(b, n)
-		b.Label("loop")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 3, 7)
-		b.Note("test[i] > theeps", prog.SeparableTotal)
-		b.Branch(isa.BEQ, 8, 0, "skip")
-		soplexCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 14, 14, 8)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Note("i < num", prog.EasyToPredict)
-		b.Branch(isa.BNE, 4, 0, "loop")
-		soplexEpilog(b)
-
-	case CFD, CFDPlus:
-		soplexProlog(b, n)
-		b.Label("chunk")
-		// The VQ variant uses half-size chunks: every in-flight VQ entry
-		// pins a physical register until its pop retires, so a full
-		// 128-entry chunk would starve renaming.
-		if v == CFDPlus {
-			emitMinChunkN(b, ChunkSize/2)
-		} else {
-			emitMinChunk(b)
-		}
-		// Loop 1: the branch slice, pushing predicates (and, for CFD+,
-		// the value of x through the VQ).
-		b.Mov(18, 16)
-		b.Mov(19, 1)
-		b.Label("gen")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 3, 7)
-		b.PushBQ(8)
-		if v == CFDPlus {
-			b.PushVQ(7)
-		}
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "gen")
-		// Loop 2: the branch and its control-dependent region.
-		b.Mov(18, 16)
-		b.Mov(21, 19)
-		b.Label("use")
-		if v == CFDPlus {
-			b.PopVQ(7)
-		}
-		b.Note("test[i] > theeps (decoupled)", prog.SeparableTotal)
-		b.BranchBQ("work")
-		b.Jump("skip")
-		b.Label("work")
-		if v == CFD {
-			b.Load(isa.LD, 7, 21, 0) // reload x: the CFD+ optimization removes this
-		}
-		soplexCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 21, 21, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 14, 14, 8)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "use")
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-		soplexEpilog(b)
-
-	case DFD, CFDDFD:
-		soplexProlog(b, n)
-		b.Label("chunk")
-		emitMinChunk(b)
-		// Prefetch loop: one PREF per cache line of the chunk.
-		b.Mov(22, 1)
-		b.I(isa.ADDI, 23, 16, 7)
-		b.I(isa.SHRI, 23, 23, 3) // lines = ceil(chunkN/8)
-		b.Label("pf")
-		b.Pref(22, 0)
-		b.I(isa.ADDI, 22, 22, 64)
-		b.I(isa.ADDI, 23, 23, -1)
-		b.Branch(isa.BNE, 23, 0, "pf")
-		if v == DFD {
-			// Original loop over the chunk.
-			b.Mov(18, 16)
-			b.Label("loop")
-			b.Load(isa.LD, 7, 1, 0)
-			b.R(isa.SLT, 8, 3, 7)
-			b.Note("test[i] > theeps", prog.SeparableTotal)
-			b.Branch(isa.BEQ, 8, 0, "skip")
-			soplexCD(b)
-			b.Label("skip")
-			b.I(isa.ADDI, 1, 1, 8)
-			b.I(isa.ADDI, 2, 2, 8)
-			b.I(isa.ADDI, 14, 14, 8)
-			b.I(isa.ADDI, 18, 18, -1)
-			b.Branch(isa.BNE, 18, 0, "loop")
-		} else {
-			// CFD loops over the prefetched chunk (Fig 26).
-			b.Mov(18, 16)
-			b.Mov(19, 1)
-			b.Label("gen")
-			b.Load(isa.LD, 7, 1, 0)
-			b.R(isa.SLT, 8, 3, 7)
-			b.PushBQ(8)
-			b.I(isa.ADDI, 1, 1, 8)
-			b.I(isa.ADDI, 18, 18, -1)
-			b.Branch(isa.BNE, 18, 0, "gen")
-			b.Mov(18, 16)
-			b.Mov(21, 19)
-			b.Label("use")
-			b.Note("test[i] > theeps (decoupled)", prog.SeparableTotal)
-			b.BranchBQ("work")
-			b.Jump("skip")
-			b.Label("work")
-			b.Load(isa.LD, 7, 21, 0)
-			soplexCD(b)
-			b.Label("skip")
-			b.I(isa.ADDI, 21, 21, 8)
-			b.I(isa.ADDI, 2, 2, 8)
-			b.I(isa.ADDI, 14, 14, 8)
-			b.I(isa.ADDI, 18, 18, -1)
-			b.Branch(isa.BNE, 18, 0, "use")
-		}
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-		soplexEpilog(b)
-
-	default:
-		return nil, nil, badVariant("soplexlike", v)
+	k := &xform.Kernel{
+		Name: "soplexlike",
+		Init: []isa.Inst{
+			li(3, soplexTheeps),
+			li(5, 0),
+			li(6, 0),
+			li(15, 3),
+			li(20, passes),
+		},
+		PassInit: []isa.Inst{
+			li(1, soplexTestBase),
+			li(2, soplexOutBase),
+			li(14, soplexOut2Base),
+			li(4, passN),
+		},
+		Slice: []isa.Inst{
+			ld(isa.LD, 7, 1, 0),
+			rr(isa.SLT, 8, 3, 7),
+		},
+		// The control-dependent region: stores through out/out2, and the
+		// loop-carried count (r5) and best (r6) update.
+		CD: []isa.Inst{
+			rr(isa.MUL, 9, 7, 15),
+			ri(isa.ADDI, 9, 9, 17),
+			rr(isa.XOR, 10, 7, 6),
+			st(isa.SD, 9, 2, 0),
+			ri(isa.ADDI, 5, 5, 1),
+			rr(isa.SLT, 11, 6, 7),
+			rr(isa.CMOVNZ, 6, 7, 11),
+			ri(isa.SHRI, 12, 9, 2),
+			rr(isa.ADD, 13, 12, 5),
+			rr(isa.ADD, 13, 13, 10),
+			st(isa.SD, 13, 14, 0),
+		},
+		Step: []isa.Inst{
+			ri(isa.ADDI, 1, 1, 8),
+			ri(isa.ADDI, 2, 2, 8),
+			ri(isa.ADDI, 14, 14, 8),
+		},
+		Fini: []isa.Inst{
+			li(30, soplexResult),
+			st(isa.SD, 5, 30, 0),
+			st(isa.SD, 6, 30, 8),
+		},
+		Pred:     8,
+		Counter:  4,
+		Passes:   20,
+		Scratch:  []isa.Reg{16, 17, 18, 19, 21},
+		NoAlias:  true,
+		Note:     "test[i] > theeps",
+		LoopNote: "i < num",
 	}
-	p, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, soplexMem(n), nil
+	return k, soplexMem(n), nil
 }

@@ -4,6 +4,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // streamParams instantiates the family of "streamed predicate + large
@@ -11,15 +12,16 @@ import (
 // applications reduce to (bzip2's sort main loop, eclat's support counting,
 // jpeg's quantization, gromacs/namd's cutoff tests). The members differ in
 // working-set size (which memory level feeds the branch), taken rate, and
-// control-dependent region size (which sets the CFD overhead).
+// control-dependent region size (which sets the CFD overhead). Each member
+// is one kernel description; the xform pass pipeline generates its variants.
 type streamParams struct {
 	name     string
 	analog   string
 	function string
 	timePct  int
-	arrBase  uint64
-	outBase  uint64
-	resBase  uint64
+	arrBase  int64
+	outBase  int64
+	resBase  int64
 	arrN     int64 // working set in elements; passes repeat over it
 	mod      int64 // element value range
 	takenPct int64 // percentage of elements below the threshold
@@ -39,8 +41,8 @@ func registerStream(p streamParams) {
 		Variants: p.variants,
 		DefaultN: p.defaultN,
 		TestN:    p.testN,
-		Build: func(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-			return buildStream(p, v, n)
+		Kernel: func(n int64) (xform.Form, *mem.Memory, error) {
+			return streamKernel(p, n), streamMem(p), nil
 		},
 	})
 }
@@ -103,115 +105,67 @@ func streamMem(p streamParams) *mem.Memory {
 	for i := range arr {
 		arr[i] = uint64(rng.Int63n(p.mod))
 	}
-	m.WriteUint64s(p.arrBase, arr)
+	m.WriteUint64s(uint64(p.arrBase), arr)
 	return m
 }
 
-// streamCD emits the CD region: x in r7; updates acc r12, stores out[i]
+// streamCD builds the CD region: x in r7; updates acc r12, stores out[i]
 // through r2, then cdExtra filler ops mixing acc.
-func streamCD(b *prog.Builder, cdExtra int) {
-	b.R(isa.MUL, 9, 7, 15)
-	b.I(isa.ADDI, 9, 9, 11)
-	b.Store(isa.SD, 9, 2, 0)
-	b.R(isa.ADD, 12, 12, 9)
+func streamCD(cdExtra int) []isa.Inst {
+	cd := []isa.Inst{
+		rr(isa.MUL, 9, 7, 15),
+		ri(isa.ADDI, 9, 9, 11),
+		st(isa.SD, 9, 2, 0),
+		rr(isa.ADD, 12, 12, 9),
+	}
 	for i := 0; i < cdExtra; i++ {
 		switch i % 3 {
 		case 0:
-			b.R(isa.XOR, 10, 12, 7)
+			cd = append(cd, rr(isa.XOR, 10, 12, 7))
 		case 1:
-			b.I(isa.SHRI, 11, 10, 2)
+			cd = append(cd, ri(isa.SHRI, 11, 10, 2))
 		case 2:
-			b.R(isa.ADD, 12, 12, 11)
+			cd = append(cd, rr(isa.ADD, 12, 12, 11))
 		}
 	}
+	return cd
 }
 
-func buildStream(p streamParams, v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-	passN := n
-	if passN > p.arrN {
-		passN = p.arrN
-	}
+func streamKernel(p streamParams, n int64) *xform.Kernel {
+	passN := min(n, p.arrN)
 	passes := (n + passN - 1) / passN
 	thresh := p.mod * p.takenPct / 100
-
-	b := prog.NewBuilder()
-	b.Li(3, thresh)
-	b.Li(12, 0)
-	b.Li(15, 3)
-	b.Li(20, passes)
-	b.Label("pass")
-	b.Li(1, int64(p.arrBase))
-	b.Li(2, int64(p.outBase))
-	b.Li(4, passN)
-
-	switch v {
-	case Base:
-		b.Label("loop")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 7, 3) // x < thresh
-		b.Note(p.function, prog.SeparableTotal)
-		b.Branch(isa.BEQ, 8, 0, "skip")
-		streamCD(b, p.cdExtra)
-		b.Label("skip")
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Branch(isa.BNE, 4, 0, "loop")
-
-	case CFD, CFDPlus:
-		b.Label("chunk")
-		if v == CFDPlus {
-			emitMinChunkN(b, ChunkSize/2) // VQ entries pin physical registers
-		} else {
-			emitMinChunk(b)
-		}
-		b.Mov(18, 16)
-		b.Mov(19, 1)
-		b.Label("gen")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 7, 3)
-		b.PushBQ(8)
-		if v == CFDPlus {
-			b.PushVQ(7)
-		}
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "gen")
-		b.Mov(18, 16)
-		b.Mov(21, 19)
-		b.Label("use")
-		if v == CFDPlus {
-			b.PopVQ(7)
-		}
-		b.Note(p.function+" (decoupled)", prog.SeparableTotal)
-		b.BranchBQ("work")
-		b.Jump("skip")
-		b.Label("work")
-		if v == CFD {
-			b.Load(isa.LD, 7, 21, 0)
-		}
-		streamCD(b, p.cdExtra)
-		b.Label("skip")
-		b.I(isa.ADDI, 21, 21, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "use")
-		b.R(isa.SUB, 4, 4, 16)
-		b.Branch(isa.BNE, 4, 0, "chunk")
-
-	default:
-		return nil, nil, badVariant(p.name, v)
+	return &xform.Kernel{
+		Name: p.name,
+		Init: []isa.Inst{
+			li(3, thresh),
+			li(12, 0),
+			li(15, 3),
+			li(20, passes),
+		},
+		PassInit: []isa.Inst{
+			li(1, p.arrBase),
+			li(2, p.outBase),
+			li(4, passN),
+		},
+		Slice: []isa.Inst{
+			ld(isa.LD, 7, 1, 0),
+			rr(isa.SLT, 8, 7, 3), // x < thresh
+		},
+		CD: streamCD(p.cdExtra),
+		Step: []isa.Inst{
+			ri(isa.ADDI, 1, 1, 8),
+			ri(isa.ADDI, 2, 2, 8),
+		},
+		Fini: []isa.Inst{
+			li(30, p.resBase),
+			st(isa.SD, 12, 30, 0),
+		},
+		Pred:    8,
+		Counter: 4,
+		Passes:  20,
+		Scratch: []isa.Reg{16, 17, 18, 19},
+		NoAlias: true,
+		Note:    p.function,
 	}
-
-	b.I(isa.ADDI, 20, 20, -1)
-	b.Branch(isa.BNE, 20, 0, "pass")
-	b.Li(30, int64(p.resBase))
-	b.Store(isa.SD, 12, 30, 0)
-	b.Halt()
-
-	pr, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return pr, streamMem(p), nil
 }

@@ -4,6 +4,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // tifflike mirrors tiff-2-bw, the paper's one application where no loop
@@ -15,7 +16,9 @@ import (
 // measured a ~20% BQ miss rate for tiff-2-bw, making it the one workload
 // where the speculative-pop policy clearly beats stalling (Fig 21c).
 //
-// Variants: base (plain loop); cfd (software-pipelined push D=4 ahead).
+// Variants: base (plain loop); cfd (software-pipelined push D=4 ahead) —
+// the one workload whose "cfd" variant maps to the Hoist transform rather
+// than strip-mined decoupling.
 const (
 	tiffArrBase = 0x1300_0000
 	tiffOutBase = 0x1400_0000
@@ -34,7 +37,8 @@ func init() {
 		Variants: []Variant{Base, CFD},
 		DefaultN: 150_000,
 		TestN:    3_000,
-		Build:    buildTiff,
+		Kernel:   tiffKernel,
+		Xforms:   map[Variant]xform.Transform{CFD: xform.THoist},
 	})
 }
 
@@ -49,107 +53,53 @@ func tiffMem() *mem.Memory {
 	return m
 }
 
-func tiffCD(b *prog.Builder) {
-	b.R(isa.MUL, 9, 7, 15)
-	b.I(isa.ADDI, 9, 9, 29)
-	b.Store(isa.SD, 9, 2, 0)
-	b.R(isa.ADD, 12, 12, 9)
-	b.R(isa.XOR, 10, 12, 7)
-	b.I(isa.SHRI, 10, 10, 1)
-	b.R(isa.ADD, 12, 12, 10)
-}
-
-func buildTiff(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
-	passN := n
-	if passN > tiffArrN {
-		passN = tiffArrN
-	}
+func tiffKernel(n int64) (xform.Form, *mem.Memory, error) {
+	passN := min(n, tiffArrN)
 	if passN <= 2*tiffAhead {
-		passN = 2 * tiffAhead
+		passN = 2 * tiffAhead // the hoist needs a prologue and a drain
 	}
 	passes := (n + passN - 1) / passN
-
-	b := prog.NewBuilder()
-	b.Li(3, 500)
-	b.Li(12, 0)
-	b.Li(15, 3)
-	b.Li(20, passes)
-	b.Label("pass")
-	b.Li(1, tiffArrBase) // x cursor (body)
-	b.Li(2, tiffOutBase)
-
-	switch v {
-	case Base:
-		b.Li(4, passN)
-		b.Label("loop")
-		b.Load(isa.LD, 7, 1, 0)
-		b.R(isa.SLT, 8, 7, 3)
-		b.Note("pixel < threshold", prog.SeparableTotal)
-		b.Branch(isa.BEQ, 8, 0, "skip")
-		tiffCD(b)
-		b.Label("skip")
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Branch(isa.BNE, 4, 0, "loop")
-
-	case CFD:
-		// Prologue: push predicates for the first D iterations.
-		b.Li(19, tiffArrBase) // lookahead cursor
-		b.Li(18, tiffAhead)
-		b.Label("pro")
-		b.Load(isa.LD, 7, 19, 0)
-		b.R(isa.SLT, 8, 7, 3)
-		b.PushBQ(8)
-		b.I(isa.ADDI, 19, 19, 8)
-		b.I(isa.ADDI, 18, 18, -1)
-		b.Branch(isa.BNE, 18, 0, "pro")
-		// Steady state: consume predicate i, push predicate i+D.
-		b.Li(4, passN-tiffAhead)
-		b.Label("loop")
-		b.Note("pixel < threshold (hoisted)", prog.SeparableTotal)
-		b.BranchBQ("work")
-		b.Jump("skip")
-		b.Label("work")
-		b.Load(isa.LD, 7, 1, 0)
-		tiffCD(b)
-		b.Label("skip")
-		b.Load(isa.LD, 7, 19, 0)
-		b.R(isa.SLT, 8, 7, 3)
-		b.PushBQ(8)
-		b.I(isa.ADDI, 19, 19, 8)
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Branch(isa.BNE, 4, 0, "loop")
-		// Epilogue: drain the last D predicates.
-		b.Li(4, tiffAhead)
-		b.Label("tail")
-		b.Note("pixel < threshold (drain)", prog.SeparableTotal)
-		b.BranchBQ("twork")
-		b.Jump("tskip")
-		b.Label("twork")
-		b.Load(isa.LD, 7, 1, 0)
-		tiffCD(b)
-		b.Label("tskip")
-		b.I(isa.ADDI, 1, 1, 8)
-		b.I(isa.ADDI, 2, 2, 8)
-		b.I(isa.ADDI, 4, 4, -1)
-		b.Branch(isa.BNE, 4, 0, "tail")
-
-	default:
-		return nil, nil, badVariant("tifflike", v)
+	k := &xform.Kernel{
+		Name: "tifflike",
+		Init: []isa.Inst{
+			li(3, 500),
+			li(12, 0),
+			li(15, 3),
+			li(20, passes),
+		},
+		PassInit: []isa.Inst{
+			li(1, tiffArrBase),
+			li(2, tiffOutBase),
+			li(4, passN),
+		},
+		Slice: []isa.Inst{
+			ld(isa.LD, 7, 1, 0),
+			rr(isa.SLT, 8, 7, 3),
+		},
+		CD: []isa.Inst{
+			rr(isa.MUL, 9, 7, 15),
+			ri(isa.ADDI, 9, 9, 29),
+			st(isa.SD, 9, 2, 0),
+			rr(isa.ADD, 12, 12, 9),
+			rr(isa.XOR, 10, 12, 7),
+			ri(isa.SHRI, 10, 10, 1),
+			rr(isa.ADD, 12, 12, 10),
+		},
+		Step: []isa.Inst{
+			ri(isa.ADDI, 1, 1, 8),
+			ri(isa.ADDI, 2, 2, 8),
+		},
+		Fini: []isa.Inst{
+			li(30, tiffResult),
+			st(isa.SD, 12, 30, 0),
+		},
+		Pred:      8,
+		Counter:   4,
+		Passes:    20,
+		Lookahead: tiffAhead,
+		Scratch:   []isa.Reg{16, 17, 18, 19},
+		NoAlias:   true,
+		Note:      "pixel < threshold",
 	}
-
-	b.I(isa.ADDI, 20, 20, -1)
-	b.Branch(isa.BNE, 20, 0, "pass")
-	b.Li(30, tiffResult)
-	b.Store(isa.SD, 12, 30, 0)
-	b.Halt()
-
-	p, err := b.Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	return p, tiffMem(), nil
+	return k, tiffMem(), nil
 }

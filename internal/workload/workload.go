@@ -16,8 +16,10 @@ import (
 	"math/rand"
 	"sort"
 
+	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/prog"
+	"cfd/internal/xform"
 )
 
 // Variant names a program transformation of a workload.
@@ -34,11 +36,6 @@ const (
 	CFDBQ   Variant = "cfdbq"   // BQ on the inner branch only (Fig 28)
 	CFDBQTQ Variant = "cfdbqtq" // BQ and TQ together (Fig 28)
 )
-
-// ChunkSize is the strip-mining chunk: CFD-class loops iterate thousands of
-// times, so the loop is strip-mined into chunks no larger than the BQ size
-// (§III-B).
-const ChunkSize = 128
 
 // Spec describes one workload.
 type Spec struct {
@@ -57,7 +54,44 @@ type Spec struct {
 	DefaultN int64
 	TestN    int64
 	// Build constructs the program and initial memory for a variant.
+	// Kernel-shaped workloads leave it nil: registration synthesizes it
+	// from Kernel through the xform pass pipeline, so every variant is
+	// generated, not hand-written. Only workloads whose control flow is
+	// not kernel-shaped (the classification-study set) provide Build.
 	Build func(v Variant, n int64) (*prog.Program, *mem.Memory, error)
+	// Kernel returns the workload's structured kernel form and initial
+	// memory at size n. The variants are produced by applying the pass
+	// pipeline's transforms to this single description.
+	Kernel func(n int64) (xform.Form, *mem.Memory, error)
+	// Xforms overrides the variant→transform mapping where the two names
+	// differ (tifflike's "cfd" is the hoist schedule, §VII-A); absent
+	// entries map the variant name to the transform of the same name.
+	Xforms map[Variant]xform.Transform
+}
+
+// Transform returns the pass-pipeline transform that builds variant v.
+func (s *Spec) Transform(v Variant) xform.Transform {
+	if t, ok := s.Xforms[v]; ok {
+		return t
+	}
+	return xform.Transform(v)
+}
+
+// buildFromKernel is the synthesized Build for kernel-shaped workloads:
+// construct the kernel once, apply the variant's transform.
+func (s *Spec) buildFromKernel(v Variant, n int64) (*prog.Program, *mem.Memory, error) {
+	if !s.HasVariant(v) {
+		return nil, nil, badVariant(s.Name, v)
+	}
+	f, m, err := s.Kernel(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := f.Apply(s.Transform(v), xform.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, m, nil
 }
 
 // HasVariant reports whether v is implemented.
@@ -90,13 +124,16 @@ func Register(s *Spec) error {
 	switch {
 	case s == nil || s.Name == "":
 		return fmt.Errorf("workload: register: spec has no name")
-	case s.Build == nil:
-		return fmt.Errorf("workload %s: register: nil Build function", s.Name)
+	case s.Build == nil && s.Kernel == nil:
+		return fmt.Errorf("workload %s: register: nil Build function and no Kernel", s.Name)
 	case len(s.Variants) == 0:
 		return fmt.Errorf("workload %s: register: no variants", s.Name)
 	}
 	if _, dup := registry[s.Name]; dup {
 		return fmt.Errorf("workload %s: register: duplicate name", s.Name)
+	}
+	if s.Build == nil {
+		s.Build = s.buildFromKernel
 	}
 	registry[s.Name] = s
 	return nil
@@ -162,6 +199,34 @@ func rngFor(name string) *rand.Rand {
 		seed = seed*131 + int64(b)
 	}
 	return rand.New(rand.NewSource(seed))
+}
+
+// Instruction-literal helpers for the kernel block descriptions. The kernel
+// forms take raw straight-line []isa.Inst blocks (no labels or branches), so
+// the builder is not involved; these keep the blocks as readable as
+// assembler listings.
+
+// li loads an immediate: rd = v.
+func li(rd isa.Reg, v int64) isa.Inst { return isa.Inst{Op: isa.ADDI, Rd: rd, Imm: v} }
+
+// ri is a register-immediate ALU op: rd = rs1 op imm.
+func ri(op isa.Op, rd, rs1 isa.Reg, imm int64) isa.Inst {
+	return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}
+}
+
+// rr is a register-register ALU op: rd = rs1 op rs2.
+func rr(op isa.Op, rd, rs1, rs2 isa.Reg) isa.Inst {
+	return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// ld is a load: rd = mem[base+off].
+func ld(op isa.Op, rd, base isa.Reg, off int64) isa.Inst {
+	return isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off}
+}
+
+// st is a store: mem[base+off] = src.
+func st(op isa.Op, src, base isa.Reg, off int64) isa.Inst {
+	return isa.Inst{Op: op, Rs1: base, Rs2: src, Imm: off}
 }
 
 // SeparablePCs extracts the PCs of branches annotated separable — the set

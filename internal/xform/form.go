@@ -1,0 +1,68 @@
+package xform
+
+import (
+	"cfd/internal/prog"
+)
+
+// Transform names one code transformation of the pass pipeline. The
+// string values match the workload variant names so a variant maps to its
+// transform by name unless a workload overrides the mapping.
+type Transform string
+
+// The transform menu.
+const (
+	TBase      Transform = "base"      // untransformed loop
+	TCFD       Transform = "cfd"       // control-flow decoupling, recomputed slices (§III)
+	TCFDPlus   Transform = "cfd+"      // CFD with the value queue (§IV-B)
+	TDFD       Transform = "dfd"       // data-flow decoupling: prefetch loop (§V)
+	TCFDDFD    Transform = "cfd+dfd"   // CFD and DFD combined (Fig 26)
+	THoist     Transform = "hoist"     // software-pipelined predicate hoisting (distance-D push-ahead)
+	TIfConvert Transform = "ifconvert" // if-conversion (hammock elimination, §II-B)
+	TCFDTQ     Transform = "cfdtq"     // trip-count queue on the loop-branch (§IV-C)
+	TCFDBQ     Transform = "cfdbq"     // BQ on the inner branch only (Fig 28)
+	TCFDBQTQ   Transform = "cfdbqtq"   // BQ and TQ together (Fig 28)
+)
+
+// AllTransforms lists every transform, in presentation order.
+var AllTransforms = []Transform{
+	TBase, TCFD, TCFDPlus, TDFD, TCFDDFD, THoist, TIfConvert,
+	TCFDTQ, TCFDBQ, TCFDBQTQ,
+}
+
+// Form is an annotated kernel the pass pipeline can transform: the
+// single-level Kernel, the two-level NestedKernel, and the
+// inner-loop-bearing LoopKernel all implement it. A Form is the single
+// source of truth for a workload's code: every program variant is
+// generated from it.
+type Form interface {
+	// KernelName identifies the kernel in diagnostics.
+	KernelName() string
+	// Classify performs the §II-B separability analysis, returning the
+	// hard branch's class and, when the kernel is inseparable, the
+	// reason.
+	Classify() (prog.BranchClass, error)
+	// Transforms lists the transforms this form can accept (a given
+	// kernel may still reject some of them — Apply reports why).
+	Transforms() []Transform
+	// Apply runs one transform and returns the generated program, or a
+	// descriptive error explaining the rejection.
+	Apply(t Transform, p Params) (*prog.Program, error)
+}
+
+// TransformStatus reports whether one transform accepts a kernel.
+type TransformStatus struct {
+	Transform Transform
+	Err       error // nil = accepted
+}
+
+// Acceptance applies every known transform to a form and records, per
+// transform, whether it was accepted or the rejection reason — the
+// inspectable §II-B taxonomy behind cfdsim -classify.
+func Acceptance(f Form, p Params) []TransformStatus {
+	out := make([]TransformStatus, 0, len(AllTransforms))
+	for _, t := range AllTransforms {
+		_, err := f.Apply(t, p)
+		out = append(out, TransformStatus{Transform: t, Err: err})
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package xform
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfd/internal/emu"
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+)
+
+// FuzzXformEquivalence is the pipeline's differential gate in fuzz form:
+// random straight-line Slice/CD/Step blocks are assembled into a Kernel,
+// and every transform that accepts the kernel must generate a program that
+// retires exactly the baseline's final memory on the functional emulator.
+//
+// The blocks are decoded from fuzz bytes through fixed instruction menus
+// that keep the kernel contract honest by construction: slice loads walk
+// one region (r1, from fuzzLoadBase), CD stores another (r2, from
+// fuzzStoreBase), so the NoAlias assertion the kernel makes is true and a
+// memory mismatch always means a transform bug, never a contract
+// violation. One CD menu entry deliberately writes a slice live-in so the
+// fuzzer also exercises the rejection path.
+const (
+	fuzzLoadBase  = 0x100000
+	fuzzStoreBase = 0x800000
+)
+
+// decodeSliceInst maps one fuzz byte to a predicate-slice instruction.
+// r7 holds the loaded element, r3/r14/r15 are Init constants.
+func decodeSliceInst(b byte) isa.Inst {
+	switch b % 5 {
+	case 0:
+		return isa.Inst{Op: isa.ADDI, Rd: 7, Rs1: 7, Imm: 1}
+	case 1:
+		return isa.Inst{Op: isa.XOR, Rd: 7, Rs1: 7, Rs2: 14}
+	case 2:
+		// A slice temp the CD also reads: a communicated value the
+		// consuming loop must recompute (or receive through the VQ).
+		return isa.Inst{Op: isa.SHRI, Rd: 9, Rs1: 7, Imm: 2}
+	case 3:
+		return isa.Inst{Op: isa.ADD, Rd: 7, Rs1: 7, Rs2: 15}
+	default:
+		// A second load: the DFD prefetch slice must carry it.
+		return isa.Inst{Op: isa.LD, Rd: 9, Rs1: 1, Imm: 8}
+	}
+}
+
+// decodeCDInst maps one fuzz byte to a control-dependent instruction.
+func decodeCDInst(b byte) isa.Inst {
+	switch b % 8 {
+	case 0:
+		return isa.Inst{Op: isa.MUL, Rd: 10, Rs1: 7, Rs2: 14}
+	case 1:
+		return isa.Inst{Op: isa.ADDI, Rd: 10, Rs1: 10, Imm: 17}
+	case 2:
+		return isa.Inst{Op: isa.SD, Rs1: 2, Rs2: 10, Imm: 0}
+	case 3:
+		return isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 10}
+	case 4:
+		return isa.Inst{Op: isa.XOR, Rd: 11, Rs1: 12, Rs2: 7}
+	case 5:
+		return isa.Inst{Op: isa.SHRI, Rd: 11, Rs1: 11, Imm: 2}
+	case 6:
+		return isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 11}
+	default:
+		// Loop-carried dependence: writes the threshold the slice
+		// reads. Classify must reject; decoupling transforms must
+		// return an error rather than a wrong program.
+		return isa.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1}
+	}
+}
+
+// fuzzKernel assembles a Kernel from the decoded blocks. The slice always
+// loads through r1 and ends by writing the predicate; the CD always ends
+// with a store so the transforms have an observable effect to preserve.
+func fuzzKernel(sliceB, cdB []byte, n int64) *Kernel {
+	slice := []isa.Inst{{Op: isa.LD, Rd: 7, Rs1: 1, Imm: 0}}
+	for _, b := range sliceB {
+		slice = append(slice, decodeSliceInst(b))
+	}
+	slice = append(slice, isa.Inst{Op: isa.SLT, Rd: 8, Rs1: 3, Rs2: 7})
+
+	var cd []isa.Inst
+	for _, b := range cdB {
+		cd = append(cd, decodeCDInst(b))
+	}
+	cd = append(cd, isa.Inst{Op: isa.SD, Rs1: 2, Rs2: 12, Imm: 8})
+
+	return &Kernel{
+		Name: "fuzz",
+		Init: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 0, Imm: fuzzLoadBase},
+			{Op: isa.ADDI, Rd: 2, Rs1: 0, Imm: fuzzStoreBase},
+			{Op: isa.ADDI, Rd: 3, Rs1: 0, Imm: 500},
+			{Op: isa.ADDI, Rd: 4, Rs1: 0, Imm: n},
+			{Op: isa.ADDI, Rd: 12, Rs1: 0, Imm: 0},
+			{Op: isa.ADDI, Rd: 14, Rs1: 0, Imm: 3},
+			{Op: isa.ADDI, Rd: 15, Rs1: 0, Imm: 5},
+		},
+		Slice: slice,
+		CD:    cd,
+		Step: []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Rs1: 1, Imm: 8},
+			{Op: isa.ADDI, Rd: 2, Rs1: 2, Imm: 16},
+		},
+		Pred:      8,
+		Counter:   4,
+		Lookahead: 4,
+		Scratch:   []isa.Reg{20, 21, 22, 23},
+		NoAlias:   true,
+		Note:      "fuzzed predicate",
+	}
+}
+
+func fuzzMem(n, seed int64) *mem.Memory {
+	rng := rand.New(rand.NewSource(seed))
+	m := mem.New()
+	vals := make([]uint64, n+1) // +1: the second-load menu entry reads a[i+1]
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1000))
+	}
+	m.WriteUint64s(fuzzLoadBase, vals)
+	return m
+}
+
+func FuzzXformEquivalence(f *testing.F) {
+	// Corpus seeded from the migrated workload kernels' block shapes:
+	// streamlike (MUL/ADDI/store/acc chain), soplexlike (mix + store),
+	// mcflike (slice feeds the CD a recomputed pointer analog), a
+	// second-load slice, and a loop-carried-dependence rejection case.
+	f.Add([]byte{}, []byte{0, 1, 2, 3, 4, 5, 6}, int64(300), int64(1))
+	f.Add([]byte{0}, []byte{0, 1, 4, 2, 3, 6}, int64(700), int64(2))
+	f.Add([]byte{2}, []byte{0, 3, 2}, int64(150), int64(3))
+	f.Add([]byte{4, 1}, []byte{0, 2, 3}, int64(260), int64(4))
+	f.Add([]byte{}, []byte{7, 0, 2}, int64(100), int64(5))
+
+	f.Fuzz(func(t *testing.T, sliceB, cdB []byte, n, seed int64) {
+		if n < 1 {
+			n = 1
+		}
+		n %= 2048
+		if n == 0 {
+			n = 2048
+		}
+		if len(sliceB) > 6 {
+			sliceB = sliceB[:6]
+		}
+		if len(cdB) > 12 {
+			cdB = cdB[:12]
+		}
+		k := fuzzKernel(sliceB, cdB, n)
+		if err := k.Validate(); err != nil {
+			t.Skip() // structurally invalid by construction is out of scope
+		}
+		base, err := k.Apply(TBase, DefaultParams())
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		baseMem := fuzzMem(n, seed)
+		if mc := emu.New(base, baseMem); mc.Run(20_000_000) != nil {
+			t.Fatal("base program did not halt")
+		}
+		want := baseMem.Checksum()
+
+		for _, tr := range k.Transforms() {
+			if tr == TBase {
+				continue
+			}
+			p, err := k.Apply(tr, DefaultParams())
+			if err != nil {
+				continue // this transform rejects the kernel: fine
+			}
+			m := fuzzMem(n, seed)
+			if mc := emu.New(p, m); mc.Run(20_000_000) != nil {
+				t.Fatalf("%s: generated program did not halt", tr)
+			}
+			if got := m.Checksum(); got != want {
+				t.Errorf("%s: final memory %#x, base %#x (slice=%v cd=%v n=%d)",
+					tr, got, want, sliceB, cdB, n)
+			}
+		}
+	})
+}

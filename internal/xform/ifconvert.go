@@ -26,6 +26,9 @@ func (k *Kernel) IfConvert() (*prog.Program, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	if k.hasExit() {
+		return nil, fmt.Errorf("xform %s: if-conversion cannot eliminate an early-exit branch: the exit is a control transfer, not a value select", k.Name)
+	}
 	// Registers to snapshot: everything CD writes (they must keep their
 	// old values when the predicate is false).
 	var saved []isa.Reg
@@ -45,6 +48,7 @@ func (k *Kernel) IfConvert() (*prog.Program, error) {
 
 	b := prog.NewBuilder()
 	emitBlock(b, k.Init)
+	k.passOpen(b)
 	b.Label("loop")
 	emitBlock(b, k.Slice)
 	// Snapshot CD-written registers.
@@ -69,7 +73,8 @@ func (k *Kernel) IfConvert() (*prog.Program, error) {
 	emitBlock(b, k.Step)
 	b.I(isa.ADDI, k.Counter, k.Counter, -1)
 	b.Branch(isa.BNE, k.Counter, isa.Zero, "loop")
-	b.Halt()
+	k.passClose(b)
+	k.finish(b)
 	return b.Build()
 }
 

@@ -162,10 +162,10 @@ func TestRecomputeRejectedForSliceInternalState(t *testing.T) {
 	// consumes such a value, and accept the VQ mode.
 	k := lcgKernel(100, 0)
 	k.CD = append(k.CD, isa.Inst{Op: isa.ADD, Rd: 12, Rs1: 12, Rs2: 7})
-	if _, err := k.CFD(false); err == nil {
+	if _, err := k.CFD(DefaultParams(), false); err == nil {
 		t.Fatal("recompute mode accepted a self-feeding communicated value")
 	}
-	p, err := k.CFD(true)
+	p, err := k.CFD(DefaultParams(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

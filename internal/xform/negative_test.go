@@ -1,0 +1,131 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"cfd/internal/isa"
+	"cfd/internal/prog"
+)
+
+// TestDecouplingTransformsNeverEmitWrongPrograms sweeps the §II-B
+// rejection taxonomy — loop-carried dependence, CD writing induction
+// state, aliasing without the NoAlias assertion, and an early-exit kernel
+// whose exit check cannot actually exit — and asserts every decoupling
+// transform returns (nil, descriptive error): a kernel outside the
+// contract must be rejected, never silently transformed.
+func TestDecouplingTransformsNeverEmitWrongPrograms(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Kernel)
+		want     string // substring of every rejection error
+		runnable bool   // base program still terminates
+	}{
+		{
+			"loop-carried dependence",
+			func(k *Kernel) {
+				k.CD = append(k.CD, isa.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1})
+			},
+			"loop-carried",
+			true,
+		},
+		{
+			// The clobbered counter can skip zero, so this kernel's base
+			// program does not even terminate — rejection is the only
+			// acceptable outcome.
+			"CD writes induction state",
+			func(k *Kernel) {
+				k.CD = append(k.CD, isa.Inst{Op: isa.ADDI, Rd: 4, Rs1: 4, Imm: -1})
+			},
+			"induction",
+			false,
+		},
+		{
+			"aliasing without NoAlias",
+			func(k *Kernel) { k.NoAlias = false },
+			"alias",
+			true,
+		},
+	}
+	for _, c := range cases {
+		k := soplexKernel(100)
+		c.mutate(k)
+		for _, tr := range []Transform{TCFD, TCFDPlus, TCFDDFD, THoist} {
+			p, err := k.Apply(tr, DefaultParams())
+			if err == nil {
+				t.Errorf("%s: %s accepted the kernel", c.name, tr)
+				continue
+			}
+			if p != nil {
+				t.Errorf("%s: %s returned a program alongside the error", c.name, tr)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("%s: %s error %q does not mention %q", c.name, tr, err, c.want)
+			}
+		}
+		// DFD is prefetch-only and needs no separability: it accepts
+		// these kernels, but its output must still retire exactly the
+		// baseline's memory — prefetches are architectural no-ops.
+		if !c.runnable {
+			continue
+		}
+		base, err := k.Apply(TBase, DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: base: %v", c.name, err)
+		}
+		dfd, err := k.Apply(TDFD, DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: dfd: %v", c.name, err)
+		}
+		want := runProg(t, base, kernelMem(100, 7)).Checksum()
+		if got := runProg(t, dfd, kernelMem(100, 7)).Checksum(); got != want {
+			t.Errorf("%s: DFD memory %#x differs from base %#x", c.name, got, want)
+		}
+	}
+}
+
+// TestValidateRejectsNonExitingExitBlock covers the early-exit contract:
+// an Exit block that never writes the exit predicate could spin the
+// decoupled consume loop forever, so Validate must refuse it up front —
+// and so must every transform, including Base.
+func TestValidateRejectsNonExitingExitBlock(t *testing.T) {
+	k := soplexKernel(100)
+	k.ExitPred = 19
+	// The "exit check" computes a temp but never writes r19.
+	k.Exit = []isa.Inst{{Op: isa.SEQ, Rd: 9, Rs1: 7, Rs2: 3}}
+	err := k.Validate()
+	if err == nil || !strings.Contains(err.Error(), "does not write the exit predicate") {
+		t.Fatalf("Validate = %v, want non-exiting exit rejection", err)
+	}
+	for _, tr := range []Transform{TBase, TCFD, TDFD, TCFDDFD} {
+		if p, err := k.Apply(tr, DefaultParams()); err == nil || p != nil {
+			t.Errorf("%s: accepted a kernel with a non-exiting Exit block (err=%v)", tr, err)
+		}
+	}
+
+	// The complementary shape: the exit predicate leaks into another
+	// block, so a stale value could exit a chunk that never took the
+	// branch.
+	k = soplexKernel(100)
+	k.ExitPred = 19
+	k.Exit = []isa.Inst{{Op: isa.SEQ, Rd: 19, Rs1: 7, Rs2: 3}}
+	k.Step = append(k.Step, isa.Inst{Op: isa.ADDI, Rd: 19, Rs1: 19, Imm: 0})
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "only by the Exit block") {
+		t.Fatalf("Validate = %v, want exit-predicate ownership rejection", err)
+	}
+}
+
+// TestRequireSeparableAlwaysErrors pins the hardened guard: for any kernel
+// whose class is not SeparableTotal, requireSeparable returns a non-nil
+// error even if the classifier produced the class without one — the
+// historical bug was a (nil, nil) return from CFD.
+func TestRequireSeparableAlwaysErrors(t *testing.T) {
+	k := soplexKernel(100)
+	k.NoAlias = false
+	if err := k.requireSeparable(); err == nil {
+		t.Fatal("requireSeparable = nil for a non-total kernel")
+	}
+	if cls, _ := k.Classify(); cls == prog.SeparableTotal {
+		t.Fatal("test kernel unexpectedly classified SeparableTotal")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"cfd/internal/isa"
 	"cfd/internal/mem"
 	"cfd/internal/pipeline"
+	"cfd/internal/prog"
 )
 
 // nestedKernel: if (a[i] > k1) { if (b[a[i] & mask] < k2) { CD } } — the
@@ -50,7 +51,8 @@ func nestedKernel(n int64) *NestedKernel {
 		Counter:   4,
 		Scratch:   []isa.Reg{20, 21, 22},
 		NoAlias:   true,
-		Note:      "nested",
+		OuterNote: "nested (outer)",
+		InnerNote: "nested (inner)",
 	}
 }
 
@@ -78,7 +80,7 @@ func TestNestedCFDMatchesBase(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := runProg(t, base, nestedMem(n))
-	cfdP, err := k.CFD()
+	cfdP, err := k.CFD(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestNestedCFDEliminatesBothLevels(t *testing.T) {
 	const n = 10000
 	k := nestedKernel(n)
 	base, _ := k.Base()
-	cfdP, err := k.CFD()
+	cfdP, err := k.CFD(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,9 +131,16 @@ func TestNestedValidateRejectsBadShapes(t *testing.T) {
 	}
 
 	k2 := nestedKernel(100)
-	// CD writes a register the outer slice reads: inseparable.
+	// CD writes a register the outer slice reads: inseparable, so the
+	// decoupling transforms must reject it (Base still emits).
 	k2.CD = append(k2.CD, isa.Inst{Op: isa.ADDI, Rd: 3, Rs1: 3, Imm: 1})
-	if err := k2.Validate(); err == nil {
-		t.Error("loop-carried dependence accepted")
+	if cls, err := k2.Classify(); cls == prog.SeparablePartial || err == nil {
+		t.Errorf("loop-carried dependence classified %v, %v", cls, err)
+	}
+	if _, err := k2.CFD(DefaultParams()); err == nil {
+		t.Error("CFD accepted a loop-carried dependence")
+	}
+	if _, err := k2.Base(); err != nil {
+		t.Errorf("Base rejected a structurally valid kernel: %v", err)
 	}
 }

@@ -1,0 +1,68 @@
+package xform
+
+import (
+	"fmt"
+
+	"cfd/internal/config"
+)
+
+// Params carries the architectural queue capacities the pass strip-mines
+// against (§III-B: "the loop is strip-mined into chunks no larger than the
+// BQ size"). They come from the machine configuration so that resizing a
+// queue in internal/config automatically resizes every generated program's
+// chunks — there is exactly one place queue capacities live.
+type Params struct {
+	BQSize int // branch queue entries
+	VQSize int // value queue entries (CFD+, §IV-B)
+	TQSize int // trip-count queue entries (§IV-C)
+}
+
+// ParamsFrom extracts the transformation parameters from a core config.
+func ParamsFrom(c config.Core) Params {
+	return Params{BQSize: c.BQSize, VQSize: c.VQSize, TQSize: c.TQSize}
+}
+
+// DefaultParams returns the parameters of the paper's modeled core.
+func DefaultParams() Params { return ParamsFrom(config.SandyBridge()) }
+
+// Validate rejects degenerate queue capacities.
+func (p Params) Validate() error {
+	if p.BQSize < 2 || p.VQSize < 2 || p.TQSize < 2 {
+		return fmt.Errorf("xform: degenerate queue params (BQ=%d VQ=%d TQ=%d); need >= 2 each",
+			p.BQSize, p.VQSize, p.TQSize)
+	}
+	return nil
+}
+
+// bqChunk is the strip-mining chunk when one predicate stream has the BQ
+// to itself.
+func (p Params) bqChunk() int64 { return int64(p.BQSize) }
+
+// vqChunk is the chunk when communicated values travel through the VQ:
+// half the smaller queue, because VQ entries pin physical registers for
+// their whole queue lifetime (see config.Validate's NumPhysRegs floor).
+func (p Params) vqChunk() int64 { return int64(min(p.BQSize, p.VQSize)) / 2 }
+
+// dualStreamChunk is the chunk when two predicate streams coexist in the
+// BQ (the multi-level decoupling of the nested form).
+func (p Params) dualStreamChunk() int64 { return int64(p.BQSize) / 2 }
+
+// tqChunk is the chunk for trip-count-queue decoupling (§IV-C): trip
+// counts are small, so the bound is conservative — half the smaller of
+// BQ and TQ keeps the save/restore images and TQ occupancy bounded.
+func (p Params) tqChunk() int64 { return int64(min(p.BQSize, p.TQSize)) / 2 }
+
+// bqLoopChunk is the chunk when every outer iteration pushes up to
+// maxTrip inner predicates into the BQ (Fig 28's BQ-on-inner-branch
+// variants): the chunk shrinks so a full chunk of worst-case inner loops
+// still fits.
+func (p Params) bqLoopChunk(maxTrip int64) (int64, error) {
+	if maxTrip < 1 {
+		return 0, fmt.Errorf("xform: loop kernel MaxTrip %d must be >= 1", maxTrip)
+	}
+	c := int64(p.BQSize) / maxTrip
+	if c < 1 {
+		return 0, fmt.Errorf("xform: MaxTrip %d exceeds the BQ capacity %d; no chunk size fits", maxTrip, p.BQSize)
+	}
+	return c, nil
+}

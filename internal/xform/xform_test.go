@@ -79,7 +79,7 @@ func TestAutoCFDMatchesBase(t *testing.T) {
 	}
 	want := runProg(t, base, kernelMem(n, 1))
 	for _, useVQ := range []bool{false, true} {
-		tp, err := k.CFD(useVQ)
+		tp, err := k.CFD(DefaultParams(), useVQ)
 		if err != nil {
 			t.Fatalf("CFD(useVQ=%v): %v", useVQ, err)
 		}
@@ -95,7 +95,7 @@ func TestAutoDFDMatchesBase(t *testing.T) {
 	k := soplexKernel(n)
 	base, _ := k.Base()
 	want := runProg(t, base, kernelMem(n, 1))
-	dfd, err := k.DFD()
+	dfd, err := k.DFD(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestAutoCFDSpeedsUpPipeline(t *testing.T) {
 	const n = 8000
 	k := soplexKernel(n)
 	base, _ := k.Base()
-	cfdP, err := k.CFD(false)
+	cfdP, err := k.CFD(DefaultParams(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestClassifyRejectsLoopCarriedDependence(t *testing.T) {
 	if cls != prog.Inseparable || err == nil {
 		t.Errorf("Classify = %v, %v; want Inseparable", cls, err)
 	}
-	if _, err := k.CFD(false); err == nil {
+	if _, err := k.CFD(DefaultParams(), false); err == nil {
 		t.Error("CFD accepted an inseparable kernel")
 	}
 }
@@ -248,7 +248,7 @@ func TestPointerChasingDFDAddressSlices(t *testing.T) {
 		Scratch: []isa.Reg{20, 21, 22},
 		NoAlias: true,
 	}
-	dfd, err := k.DFD()
+	dfd, err := k.DFD(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
