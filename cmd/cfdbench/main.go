@@ -10,6 +10,7 @@
 //	cfdbench -jobs 8             # simulation parallelism (default GOMAXPROCS)
 //	cfdbench -verify             # cross-check every run against the emulator
 //	cfdbench -json out.json      # export every run as schema-versioned JSON
+//	cfdbench -speed out.json     # wall-clock throughput (MIPS) benchmark
 //	cfdbench -keep-going         # run every simulation even when some fault
 //	cfdbench -max-cycles N       # per-run watchdog cycle budget
 //	cfdbench -deadline 5m        # per-run watchdog wall-clock deadline
@@ -22,6 +23,10 @@
 // Runner's cumulative cache hit rate, and an ETA for the current sweep —
 // without touching stdout, which stays a deterministic artifact. The
 // end-of-run cache totals print on stderr regardless.
+//
+// -json - streams the document to stdout; the experiment tables then move
+// to stderr so stdout carries exactly one machine-parseable JSON document,
+// whatever other flags (-metrics, -keep-going) are set.
 //
 // -trace-out lays every memoized run end to end on a virtual timeline (one
 // span per sweep cell, as wide as its simulated cycles, annotated with
@@ -38,6 +43,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -49,32 +55,48 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code lifted out so tests can drive
+// the binary end to end and decode what lands on stdout.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cfdbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "all", "experiment IDs (comma separated) or 'all'")
-		scale      = flag.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
-		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
-		verify     = flag.Bool("verify", false, "differentially verify every run against the functional emulator")
-		list       = flag.Bool("list", false, "list experiments")
-		jsonPath   = flag.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		exp        = fs.String("exp", "all", "experiment IDs (comma separated) or 'all'")
+		scale      = fs.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
+		jobs       = fs.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		verify     = fs.Bool("verify", false, "differentially verify every run against the functional emulator")
+		list       = fs.Bool("list", false, "list experiments")
+		jsonPath   = fs.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		speedPath  = fs.String("speed", "", "run the wall-clock throughput benchmark and write its JSON to this path ('-' = stdout)")
+		speedRuns  = fs.Int("speed-runs", 0, "median-of-K width for -speed (0 = default)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
 
-		keepGoing = flag.Bool("keep-going", false, "complete every simulation even when some fail; failures land in the JSON faults section")
-		maxCycles = flag.Uint64("max-cycles", 0, "per-run watchdog cycle budget (0 = unlimited)")
-		deadline  = flag.Duration("deadline", 0, "per-run watchdog wall-clock deadline (0 = none)")
+		keepGoing = fs.Bool("keep-going", false, "complete every simulation even when some fail; failures land in the JSON faults section")
+		maxCycles = fs.Uint64("max-cycles", 0, "per-run watchdog cycle budget (0 = unlimited)")
+		deadline  = fs.Duration("deadline", 0, "per-run watchdog wall-clock deadline (0 = none)")
 
-		metrics  = flag.Bool("metrics", false, "stream per-simulation progress (status, cache hit rate, ETA) to stderr")
-		traceOut = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the sweeps to this path ('-' = stdout)")
+		metrics  = fs.Bool("metrics", false, "stream per-simulation progress (status, cache hit rate, ETA) to stderr")
+		traceOut = fs.String("trace-out", "", "write a Chrome/Perfetto trace of the sweeps to this path ('-' = stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	errorf := func(format string, args ...interface{}) int {
+		fmt.Fprintf(stderr, "cfdbench: "+format+"\n", args...)
+		return 1
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return errorf("%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("cpu profile: %v", err)
+			return errorf("cpu profile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -84,9 +106,13 @@ func main() {
 
 	if *list {
 		for _, e := range harness.AllExperiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *speedPath != "" {
+		return runSpeed(*speedPath, *speedRuns, stdout, stderr)
 	}
 
 	var exps []*harness.Experiment
@@ -96,11 +122,18 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := harness.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "cfdbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				return errorf("unknown experiment %q (use -list)", id)
 			}
 			exps = append(exps, e)
 		}
+	}
+
+	// With -json - the document owns stdout: everything human-readable —
+	// the experiment tables included — moves to stderr, so stdout can be
+	// piped straight into a decoder.
+	tableOut := stdout
+	if *jsonPath == "-" {
+		tableOut = stderr
 	}
 
 	r := harness.NewRunner(*scale)
@@ -110,7 +143,7 @@ func main() {
 	r.MaxCycles = *maxCycles
 	r.RunTimeout = *deadline
 	if *metrics {
-		pp := &progressPrinter{r: r}
+		pp := &progressPrinter{r: r, w: stderr}
 		r.OnProgress = pp.report
 	}
 	var records []export.Experiment
@@ -118,24 +151,24 @@ func main() {
 	for _, e := range exps {
 		start := time.Now()
 		before := r.Metrics()
-		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
-		if err := e.Run(r, os.Stdout); err != nil {
+		fmt.Fprintf(tableOut, "### %s — %s\n\n", e.ID, e.Title)
+		if err := e.Run(r, tableOut); err != nil {
 			if !*keepGoing {
-				fatalf("%s: %v", e.ID, err)
+				return errorf("%s: %v", e.ID, err)
 			}
 			// Keep-going mode: the failed run is memoized as a fault and
 			// exported; the remaining experiments still execute.
 			failedExps++
-			fmt.Fprintf(os.Stderr, "cfdbench: %s: %v (continuing)\n", e.ID, err)
+			fmt.Fprintf(stderr, "cfdbench: %s: %v (continuing)\n", e.ID, err)
 		}
 		m := r.Metrics().Sub(before)
 		records = append(records, export.Experiment{ID: e.ID, Title: e.Title, Metrics: m})
 		// Timing and cache metrics go to stderr so stdout is a
 		// deterministic artifact: byte-identical for any -jobs value,
 		// diffable across runs.
-		fmt.Fprintf(os.Stderr, "(%s in %.1fs: %d lookups, %d simulated, %d cache hits)\n",
+		fmt.Fprintf(stderr, "(%s in %.1fs: %d lookups, %d simulated, %d cache hits)\n",
 			e.ID, time.Since(start).Seconds(), m.Lookups, m.Simulations, m.CacheHits)
-		fmt.Println()
+		fmt.Fprintln(tableOut)
 	}
 
 	// End-of-run cache totals: how much work the memoizing Runner saved.
@@ -144,33 +177,42 @@ func main() {
 	if tot.Lookups > 0 {
 		hitRate = float64(tot.CacheHits) / float64(tot.Lookups)
 	}
-	fmt.Fprintf(os.Stderr, "cfdbench: runner cache: %d lookups, %d simulated, %d hits (%.0f%% hit rate)\n",
+	fmt.Fprintf(stderr, "cfdbench: runner cache: %d lookups, %d simulated, %d hits (%.0f%% hit rate)\n",
 		tot.Lookups, tot.Simulations, tot.CacheHits, 100*hitRate)
 
 	if *jsonPath != "" {
-		if err := export.WriteFile(*jsonPath, export.Build("cfdbench", r, records)); err != nil {
-			fatalf("%v", err)
+		doc := export.Build("cfdbench", r, records)
+		var err error
+		if *jsonPath == "-" {
+			err = export.Encode(stdout, doc)
+		} else {
+			err = export.WriteFile(*jsonPath, doc)
+		}
+		if err != nil {
+			return errorf("%v", err)
 		}
 	}
 	if *traceOut != "" {
 		if err := r.Trace().WriteFile(*traceOut); err != nil {
-			fatalf("%v", err)
+			return errorf("%v", err)
 		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatalf("%v", err)
+			return errorf("%v", err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatalf("heap profile: %v", err)
+			f.Close()
+			return errorf("heap profile: %v", err)
 		}
 		f.Close()
 	}
 	if failedExps > 0 {
-		fatalf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
+		return errorf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
 	}
+	return 0
 }
 
 // progressPrinter streams one stderr line per completed simulation. The
@@ -178,6 +220,7 @@ func main() {
 // restart is detected by the counter resetting to 1.
 type progressPrinter struct {
 	r     *harness.Runner
+	w     io.Writer
 	start time.Time
 }
 
@@ -199,13 +242,8 @@ func (p *progressPrinter) report(ev harness.ProgressEvent) {
 	if ev.Err != nil {
 		status = "FAIL"
 	}
-	fmt.Fprintf(os.Stderr, "  [%d/%d] %-48s %-4s  hit rate %3.0f%%  eta %s\n",
+	fmt.Fprintf(p.w, "  [%d/%d] %-48s %-4s  hit rate %3.0f%%  eta %s\n",
 		ev.Completed, ev.Total,
 		fmt.Sprintf("%s/%s @ %s", ev.Spec.Workload, ev.Spec.Variant, ev.Spec.Config.Name),
 		status, 100*hitRate, eta)
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "cfdbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfd/internal/export"
+	"cfd/internal/harness"
+)
+
+// TestJSONStdoutPurity pins the `-json -` contract: whatever other flags
+// are set (-metrics progress lines, -keep-going), stdout carries exactly
+// one decodable JSON document and every human-readable line lands on
+// stderr.
+func TestJSONStdoutPurity(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "fig18", "-scale", "0.05", "-jobs", "2",
+		"-metrics", "-keep-going", "-json", "-"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+
+	doc, err := export.Decode(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("stdout is not one clean JSON document: %v\nstdout:\n%.2000s", err, stdout.String())
+	}
+	if len(doc.Runs) == 0 {
+		t.Error("decoded document has no runs")
+	}
+
+	// The tables and the per-simulation progress moved to stderr.
+	if strings.Contains(stdout.String(), "### fig18") {
+		t.Error("experiment table header leaked onto stdout")
+	}
+	if !strings.Contains(stderr.String(), "### fig18") {
+		t.Error("experiment table header missing from stderr")
+	}
+	if !strings.Contains(stderr.String(), "hit rate") {
+		t.Error("-metrics progress lines missing from stderr")
+	}
+}
+
+// TestSpeedWorkDeterminism pins the -speed work/host split: two separate
+// invocations must agree byte-for-byte on the simulated-work section and
+// may differ only in the wall-clock host section.
+func TestSpeedWorkDeterminism(t *testing.T) {
+	speed := func() *harness.SpeedDoc {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-speed", "-", "-speed-runs", "1"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		var doc harness.SpeedDoc
+		if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+			t.Fatalf("stdout is not a speed document: %v", err)
+		}
+		return &doc
+	}
+
+	a, b := speed(), speed()
+	if a.Schema != harness.SpeedSchema || a.Version != harness.SpeedVersion {
+		t.Fatalf("schema %q v%d, want %q v%d", a.Schema, a.Version, harness.SpeedSchema, harness.SpeedVersion)
+	}
+	if len(a.Work) == 0 {
+		t.Fatal("speed document has no work rows")
+	}
+	if !reflect.DeepEqual(a.Work, b.Work) {
+		t.Errorf("simulated-work sections differ between runs\nfirst:  %+v\nsecond: %+v", a.Work, b.Work)
+	}
+	if len(a.Host.Rows) != len(a.Work) {
+		t.Fatalf("%d host rows for %d work rows", len(a.Host.Rows), len(a.Work))
+	}
+	for _, r := range a.Host.Rows {
+		if r.EmuSeconds <= 0 || r.PipeSeconds <= 0 {
+			t.Errorf("%s/%s: non-positive wall-clock (emu %g, pipe %g)",
+				r.Workload, r.Variant, r.EmuSeconds, r.PipeSeconds)
+		}
+	}
+	if a.Host.AggregateMIPS <= 0 {
+		t.Error("aggregate MIPS is non-positive")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cfd/internal/harness"
+)
+
+// runSpeed implements -speed: the wall-clock throughput benchmark. The
+// JSON document goes to path ('-' = stdout); the human-readable summary
+// always goes to stderr so `-speed -` stdout stays machine-parseable,
+// matching the `-json -` contract.
+//
+// The benchmark ignores -jobs: specs are timed serially on purpose, since
+// wall-clock under parallel contention measures the host scheduler, not
+// the simulator. runs is the -speed-runs median-of-K override (0 = the
+// harness default).
+func runSpeed(path string, runs int, stdout, stderr io.Writer) int {
+	doc, err := harness.SpeedBenchmark(runs)
+	if err != nil {
+		fmt.Fprintf(stderr, "cfdbench: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stderr, "%-16s %-8s %12s %10s %12s %10s\n",
+		"workload", "variant", "emu instr", "emu MIPS", "pipe cycles", "pipe MIPS")
+	for i, w := range doc.Work {
+		h := doc.Host.Rows[i]
+		fmt.Fprintf(stderr, "%-16s %-8s %12d %10.1f %12d %10.1f\n",
+			w.Workload, w.Variant, w.EmuRetired, h.EmuMIPS, w.PipeCycles, h.PipeMIPS)
+	}
+	fmt.Fprintf(stderr, "aggregate: emu %.1f MIPS, pipeline %.1f MIPS, combined %.1f MIPS (%s/%s, %d cpus, median of %d)\n",
+		doc.Host.EmuMIPS, doc.Host.PipeMIPS, doc.Host.AggregateMIPS,
+		doc.Host.GoOS, doc.Host.GoArch, doc.Host.CPUs, doc.Host.Runs)
+
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "cfdbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "cfdbench: %v\n", err)
+		return 1
+	}
+	return 0
+}

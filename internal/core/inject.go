@@ -27,47 +27,53 @@ func (q *fifo[T]) InjectClearMark() bool {
 	return true
 }
 
+// atPtr returns a pointer to live entry i (0 = head) for in-place
+// corruption; callers must bounds-check against Len first.
+func (q *fifo[T]) atPtr(i int) *T { return &q.buf[(q.head+i)%q.size] }
+
 // InjectFlipPred flips the predicate of live entry i.
 func (q *BQ) InjectFlipPred(i int) bool {
-	if i < 0 || i >= len(q.entries) {
+	if i < 0 || i >= q.n {
 		return false
 	}
-	q.entries[i] = !q.entries[i]
+	p := q.atPtr(i)
+	*p = !*p
 	return true
 }
 
 // InjectFlipBit flips one bit of the value in live entry i.
 func (q *VQ) InjectFlipBit(i int, bit uint) bool {
-	if i < 0 || i >= len(q.entries) {
+	if i < 0 || i >= q.n {
 		return false
 	}
-	q.entries[i] ^= 1 << (bit & 63)
+	*q.atPtr(i) ^= 1 << (bit & 63)
 	return true
 }
 
 // InjectFlipCountBit flips one trip-count bit of live entry i. Overflow
 // entries store no count, so they are refused.
 func (q *TQ) InjectFlipCountBit(i int, bit uint) bool {
-	if i < 0 || i >= len(q.entries) || q.entries[i].Overflow {
+	if i < 0 || i >= q.n || q.atPtr(i).Overflow {
 		return false
 	}
-	q.entries[i].Count ^= 1 << (bit % TQWidth)
+	q.atPtr(i).Count ^= 1 << (bit % TQWidth)
 	return true
 }
 
 // InjectFlipOverflow flips the overflow bit of live entry i.
 func (q *TQ) InjectFlipOverflow(i int) bool {
-	if i < 0 || i >= len(q.entries) {
+	if i < 0 || i >= q.n {
 		return false
 	}
-	q.entries[i].Overflow = !q.entries[i].Overflow
+	e := q.atPtr(i)
+	e.Overflow = !e.Overflow
 	return true
 }
 
 // EntryAt returns live entry i of the TQ without popping it.
 func (q *TQ) EntryAt(i int) (TQEntry, bool) {
-	if i < 0 || i >= len(q.entries) {
+	if i < 0 || i >= q.n {
 		return TQEntry{}, false
 	}
-	return q.entries[i], true
+	return q.at(i), true
 }

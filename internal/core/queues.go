@@ -53,11 +53,16 @@ func (e *ViolationError) Error() string {
 	return fmt.Sprintf("cfd: %s %s: %s", e.Queue, e.Op, e.Why)
 }
 
-// fifo is the common architectural FIFO shared by the three queues.
+// fifo is the common architectural FIFO shared by the three queues. The
+// storage is a fixed ring of exactly size entries: pushes and pops move
+// indices, never the backing array, so queue traffic allocates nothing no
+// matter how long the machine runs.
 type fifo[T any] struct {
-	name    string
-	size    int
-	entries []T // entries[0] is the head (oldest)
+	name string
+	size int
+	buf  []T // ring storage, len == size
+	head int // index of the oldest entry
+	n    int // occupancy (the architectural length register)
 
 	// Monotonic push/pop counters implement Mark/Forward: Mark records
 	// the current push count; Forward pops until the pop count reaches
@@ -72,31 +77,36 @@ func newFIFO[T any](name string, size int) fifo[T] {
 	if size <= 0 {
 		panic(fmt.Sprintf("core: %s size must be positive, got %d", name, size))
 	}
-	return fifo[T]{name: name, size: size, entries: make([]T, 0, size)}
+	return fifo[T]{name: name, size: size, buf: make([]T, size)}
 }
 
 // Len returns the value of the architectural length register.
-func (q *fifo[T]) Len() int { return len(q.entries) }
+func (q *fifo[T]) Len() int { return q.n }
 
 // Size returns the architectural queue size.
 func (q *fifo[T]) Size() int { return q.size }
 
+// at returns entry i in queue order (0 = head, the oldest).
+func (q *fifo[T]) at(i int) T { return q.buf[(q.head+i)%q.size] }
+
 func (q *fifo[T]) push(v T) error {
-	if len(q.entries) >= q.size {
+	if q.n >= q.size {
 		return &ViolationError{q.name, "push", fmt.Sprintf("queue full (size %d)", q.size)}
 	}
-	q.entries = append(q.entries, v)
+	q.buf[(q.head+q.n)%q.size] = v
+	q.n++
 	q.pushes++
 	return nil
 }
 
 func (q *fifo[T]) pop() (T, error) {
 	var zero T
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return zero, &ViolationError{q.name, "pop", "queue empty"}
 	}
-	v := q.entries[0]
-	q.entries = q.entries[1:]
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % q.size
+	q.n--
 	q.pops++
 	return v, nil
 }
@@ -104,10 +114,10 @@ func (q *fifo[T]) pop() (T, error) {
 // peek returns the head entry without popping it.
 func (q *fifo[T]) peek() (T, bool) {
 	var zero T
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	return q.entries[0], true
+	return q.buf[q.head], true
 }
 
 // setMark records the current tail position (the entry following the newest
@@ -137,15 +147,17 @@ func (q *fifo[T]) forward() (int, error) {
 
 // reset clears all architectural state (power-on state).
 func (q *fifo[T]) reset() {
-	q.entries = q.entries[:0]
+	q.head, q.n = 0, 0
 	q.pushes, q.pops, q.mark, q.marked = 0, 0, 0, false
 }
 
 // snapshot returns a deep copy of the queue contents (for checkpoint and
 // verification use).
 func (q *fifo[T]) snapshot() []T {
-	s := make([]T, len(q.entries))
-	copy(s, q.entries)
+	s := make([]T, q.n)
+	for i := range s {
+		s[i] = q.at(i)
+	}
 	return s
 }
 
@@ -181,6 +193,9 @@ func (q *BQ) Reset() { q.reset() }
 // Contents returns a copy of the queued predicates, head first.
 func (q *BQ) Contents() []bool { return q.snapshot() }
 
+// At returns the i'th queued predicate (0 = head) without copying.
+func (q *BQ) At(i int) bool { return q.at(i) }
+
 // ImageSize returns the number of bytes of the SaveBQ/RestoreBQ memory
 // image: one length byte plus one bit per queue entry, rounded up. For the
 // default 128-entry BQ this is the paper's 17 bytes (§III-A).
@@ -190,13 +205,28 @@ func (q *BQ) ImageSize() int { return 1 + (q.size+7)/8 }
 // predicates between head and tail) into a fresh memory image.
 func (q *BQ) Save() []byte {
 	img := make([]byte, q.ImageSize())
-	img[0] = byte(len(q.entries))
-	for i, p := range q.entries {
-		if p {
+	_ = q.SaveTo(img)
+	return img
+}
+
+// SaveTo is the allocation-free form of Save: it serializes into the first
+// ImageSize bytes of img, overwriting them entirely (so reused scratch
+// buffers produce the same image bytes a fresh Save would).
+func (q *BQ) SaveTo(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: SaveBQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	img = img[:q.ImageSize()]
+	for i := range img {
+		img[i] = 0
+	}
+	img[0] = byte(q.n)
+	for i := 0; i < q.n; i++ {
+		if q.at(i) {
 			img[1+i/8] |= 1 << (i % 8)
 		}
 	}
-	return img
+	return nil
 }
 
 // Restore replaces the architectural state from a memory image produced by
@@ -242,6 +272,9 @@ func (q *VQ) Reset() { q.reset() }
 // Contents returns a copy of the queued values, head first.
 func (q *VQ) Contents() []uint64 { return q.snapshot() }
 
+// At returns the i'th queued value (0 = head) without copying.
+func (q *VQ) At(i int) uint64 { return q.at(i) }
+
 // ImageSize returns the SaveVQ/RestoreVQ image size: one length byte plus
 // eight bytes per entry of capacity.
 func (q *VQ) ImageSize() int { return 1 + 8*q.size }
@@ -249,11 +282,24 @@ func (q *VQ) ImageSize() int { return 1 + 8*q.size }
 // Save serializes the architectural state.
 func (q *VQ) Save() []byte {
 	img := make([]byte, q.ImageSize())
-	img[0] = byte(len(q.entries))
-	for i, v := range q.entries {
-		binary.LittleEndian.PutUint64(img[1+8*i:], v)
-	}
+	_ = q.SaveTo(img)
 	return img
+}
+
+// SaveTo is the allocation-free form of Save; see BQ.SaveTo.
+func (q *VQ) SaveTo(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: SaveVQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	img = img[:q.ImageSize()]
+	for i := range img {
+		img[i] = 0
+	}
+	img[0] = byte(q.n)
+	for i := 0; i < q.n; i++ {
+		binary.LittleEndian.PutUint64(img[1+8*i:], q.at(i))
+	}
+	return nil
 }
 
 // Restore replaces the architectural state from a Save image.
@@ -310,6 +356,9 @@ func (q *TQ) Reset() { q.reset() }
 // Contents returns a copy of the queued entries, head first.
 func (q *TQ) Contents() []TQEntry { return q.snapshot() }
 
+// At returns the i'th queued entry (0 = head) without copying.
+func (q *TQ) At(i int) TQEntry { return q.at(i) }
+
 // ImageSize returns the SaveTQ/RestoreTQ image size: a two-byte length
 // (the default TQ holds 256 entries) plus four bytes per entry of capacity
 // (trip count in the low bits, overflow in bit 31).
@@ -318,15 +367,29 @@ func (q *TQ) ImageSize() int { return 2 + 4*q.size }
 // Save serializes the architectural state.
 func (q *TQ) Save() []byte {
 	img := make([]byte, q.ImageSize())
-	binary.LittleEndian.PutUint16(img, uint16(len(q.entries)))
-	for i, e := range q.entries {
+	_ = q.SaveTo(img)
+	return img
+}
+
+// SaveTo is the allocation-free form of Save; see BQ.SaveTo.
+func (q *TQ) SaveTo(img []byte) error {
+	if len(img) < q.ImageSize() {
+		return fmt.Errorf("cfd: SaveTQ: image too short: %d < %d", len(img), q.ImageSize())
+	}
+	img = img[:q.ImageSize()]
+	for i := range img {
+		img[i] = 0
+	}
+	binary.LittleEndian.PutUint16(img, uint16(q.n))
+	for i := 0; i < q.n; i++ {
+		e := q.at(i)
 		w := e.Count
 		if e.Overflow {
 			w |= 1 << 31
 		}
 		binary.LittleEndian.PutUint32(img[2+4*i:], w)
 	}
-	return img
+	return nil
 }
 
 // Restore replaces the architectural state from a Save image.

@@ -1,0 +1,38 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"cfd/internal/workload"
+)
+
+// TestEmuSteadyStateZeroAllocs is the emulator's allocation ceiling: once
+// the memory pages and architectural queues are warm, stepping must not
+// allocate. The BQ/VQ/TQ ring buffers (fixed arrays, index-only push/pop)
+// are what this pins — the old slice-shifting form re-allocated roughly
+// once per queue-size pops.
+func TestEmuSteadyStateZeroAllocs(t *testing.T) {
+	s, ok := workload.ByName("astar1like")
+	if !ok {
+		t.Fatal("astar1like workload missing")
+	}
+	p, m, err := s.Build(workload.CFD, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := New(p, m)
+	if err := mc.Run(20000); !errors.Is(err, ErrLimit) {
+		t.Fatalf("warm-up: %v", err)
+	}
+	limit := mc.Retired
+	got := testing.AllocsPerRun(100, func() {
+		limit += 500
+		if err := mc.Run(limit); !errors.Is(err, ErrLimit) {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("steady-state Run allocates: %g allocs per 500 instructions, want 0", got)
+	}
+}

@@ -64,6 +64,18 @@ type Machine struct {
 	wd     *fault.Watchdog
 	obsv   *obs.Observer
 	diag   retRing
+
+	// ctxImg is the reusable queue save/restore image buffer; switches
+	// happen in loops and a fresh image per switch is measurable churn.
+	ctxImg []byte
+}
+
+// ctxImage returns the reusable image buffer, grown to at least n bytes.
+func (m *Machine) ctxImage(n int) []byte {
+	if cap(m.ctxImg) < n {
+		m.ctxImg = make([]byte, n)
+	}
+	return m.ctxImg[:n]
 }
 
 // Option configures a Machine.
@@ -327,25 +339,37 @@ func (m *Machine) Step() error {
 		}
 
 	case isa.SaveBQ:
-		m.Mem.StoreBytes(a+uint64(in.Imm), m.BQ.Save())
+		img := m.ctxImage(m.BQ.ImageSize())
+		if err := m.BQ.SaveTo(img); err != nil {
+			return failKind(fault.BadMemoryAccess, err)
+		}
+		m.Mem.StoreBytes(a+uint64(in.Imm), img)
 	case isa.RestoreBQ:
-		img := make([]byte, m.BQ.ImageSize())
+		img := m.ctxImage(m.BQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.BQ.Restore(img); err != nil {
 			return failKind(fault.BadMemoryAccess, err)
 		}
 	case isa.SaveVQ:
-		m.Mem.StoreBytes(a+uint64(in.Imm), m.VQ.Save())
+		img := m.ctxImage(m.VQ.ImageSize())
+		if err := m.VQ.SaveTo(img); err != nil {
+			return failKind(fault.BadMemoryAccess, err)
+		}
+		m.Mem.StoreBytes(a+uint64(in.Imm), img)
 	case isa.RestoreVQ:
-		img := make([]byte, m.VQ.ImageSize())
+		img := m.ctxImage(m.VQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.VQ.Restore(img); err != nil {
 			return failKind(fault.BadMemoryAccess, err)
 		}
 	case isa.SaveTQ:
-		m.Mem.StoreBytes(a+uint64(in.Imm), m.TQ.Save())
+		img := m.ctxImage(m.TQ.ImageSize())
+		if err := m.TQ.SaveTo(img); err != nil {
+			return failKind(fault.BadMemoryAccess, err)
+		}
+		m.Mem.StoreBytes(a+uint64(in.Imm), img)
 	case isa.RestoreTQ:
-		img := make([]byte, m.TQ.ImageSize())
+		img := m.ctxImage(m.TQ.ImageSize())
 		m.Mem.LoadBytes(a+uint64(in.Imm), img)
 		if err := m.TQ.Restore(img); err != nil {
 			return failKind(fault.BadMemoryAccess, err)
@@ -378,7 +402,21 @@ func (m *Machine) Run(limit uint64) error {
 // watchdog (WithWatchdog) and the caller's context both bound the run, and
 // expiry returns a fault.WatchdogExpiry fault with a state snapshot. The
 // watchdog's MaxCycles counts retired instructions — the emulator's clock.
+//
+// A faulting run flushes the observer's partial tail interval before
+// returning, so a faulted time series is exactly the clean series
+// truncated at the fault point — the final sample is not lost with the
+// run. (FinishObservation stays idempotent: no clock advances after the
+// fault, so a later caller-side flush records nothing.)
 func (m *Machine) RunCtx(ctx context.Context, limit uint64) error {
+	err := m.runCtx(ctx, limit)
+	if err != nil && !errors.Is(err, ErrLimit) {
+		m.FinishObservation()
+	}
+	return err
+}
+
+func (m *Machine) runCtx(ctx context.Context, limit uint64) error {
 	wd := m.wd
 	if ctx != nil && ctx.Done() != nil {
 		w := fault.Watchdog{}

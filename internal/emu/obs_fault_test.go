@@ -1,0 +1,62 @@
+package emu
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfd/internal/core"
+	"cfd/internal/fault"
+	"cfd/internal/mem"
+	"cfd/internal/obs"
+)
+
+// TestMachineObserverTailFlushOnFault pins the emulator's fault-path tail
+// flush: a watchdog-killed run must leave exactly the series a clean run
+// truncated at the same retirement count produces, final partial sample
+// included.
+func TestMachineObserverTailFlushOnFault(t *testing.T) {
+	const every, cut = 32, 500 // cut lands mid-interval, off a boundary
+
+	build := func(opts ...Option) (*Machine, *obs.Observer) {
+		rng := rand.New(rand.NewSource(23))
+		vals := make([]uint64, 64)
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(100))
+		}
+		const aBase, bBase, k = 0x1000, 0x8000, 50
+		mm := mem.New()
+		mm.WriteUint64s(aBase, vals)
+		o := obs.NewObserver(every, core.DefaultBQSize, core.DefaultVQSize, core.DefaultTQSize)
+		m := New(cfdConditional(aBase, bBase, int64(len(vals)), k), mm,
+			append([]Option{WithObserver(o)}, opts...)...)
+		return m, o
+	}
+
+	// Clean reference, truncated at the cut via the instruction limit.
+	clean, cleanObs := build()
+	if err := clean.Run(cut); !errors.Is(err, ErrLimit) {
+		t.Fatalf("want ErrLimit at %d instructions, got %v", cut, err)
+	}
+	clean.FinishObservation()
+
+	// The same machine killed by the watchdog at the same point.
+	faulted, faultedObs := build(WithWatchdog(&fault.Watchdog{MaxCycles: cut}))
+	err := faulted.Run(0)
+	if _, ok := fault.As(err); !ok {
+		t.Fatalf("want a watchdog fault after %d instructions, got %v", cut, err)
+	}
+	// No manual FinishObservation: the fault path must have flushed.
+
+	if len(faultedObs.Samples) == 0 {
+		t.Fatal("faulted run produced no samples")
+	}
+	if last := faultedObs.Samples[len(faultedObs.Samples)-1].Cycle; last != cut {
+		t.Errorf("faulted series ends at tick %d, want the fault point %d", last, cut)
+	}
+	if !reflect.DeepEqual(cleanObs.Samples, faultedObs.Samples) {
+		t.Errorf("faulted series differs from truncated-clean series\nclean:   %+v\nfaulted: %+v",
+			cleanObs.Samples, faultedObs.Samples)
+	}
+}

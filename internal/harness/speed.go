@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"cfd/internal/config"
+	"cfd/internal/emu"
+	"cfd/internal/pipeline"
+	"cfd/internal/workload"
+)
+
+// Simulator throughput (MIPS) benchmark: the `cfdbench -speed` mode.
+//
+// The benchmark runs a pinned spec set — every workload variant at a fixed
+// input size on both engines — and reports two strictly separated groups
+// of fields:
+//
+//   - work: what was simulated (instructions retired, cycles). These are
+//     pure functions of the committed code and are byte-identical on any
+//     host, any -jobs value, any run. CI gates on this section
+//     (BENCH_speed.json) exactly like the fig18 snapshot gate, so a
+//     change that silently alters how much work the benchmark does —
+//     which would masquerade as a throughput change — fails the build.
+//
+//   - host: how fast the wall clock says this machine simulated it
+//     (seconds, MIPS). Informational only, never gated; committed
+//     snapshots record the machine they came from.
+//
+// Each spec is timed SpeedRuns times per engine and the median wall-clock
+// is reported, which discards warm-up and scheduler-noise outliers
+// without averaging them in. Specs run serially — timing under
+// parallelism would measure contention, not the simulator.
+
+// SpeedSchema identifies the speed document format.
+const SpeedSchema = "cfd-speed"
+
+// SpeedVersion is bumped when the document layout changes.
+const SpeedVersion = 1
+
+// SpeedRuns is K in the median-of-K wall-clock measurement.
+const SpeedRuns = 5
+
+// speedScale multiplies each workload's TestN: large enough that a spec
+// takes milliseconds (timing noise amortizes), small enough that the full
+// matrix finishes in seconds.
+const speedScale = 4
+
+// SpeedWork is the deterministic simulated-work record of one spec: the
+// fields the CI drift gate compares.
+type SpeedWork struct {
+	Workload string `json:"workload"`
+	Variant  string `json:"variant"`
+	N        int64  `json:"n"`
+
+	EmuRetired  uint64 `json:"emuRetired"`
+	PipeRetired uint64 `json:"pipeRetired"`
+	PipeCycles  uint64 `json:"pipeCycles"`
+}
+
+// SpeedHostRow is one spec's wall-clock measurement (median of SpeedRuns).
+type SpeedHostRow struct {
+	Workload    string  `json:"workload"`
+	Variant     string  `json:"variant"`
+	EmuSeconds  float64 `json:"emuSeconds"`
+	EmuMIPS     float64 `json:"emuMips"`
+	PipeSeconds float64 `json:"pipeSeconds"`
+	PipeMIPS    float64 `json:"pipeMips"`
+}
+
+// SpeedHost groups everything wall-clock: per-spec timings, aggregate
+// throughput, and the machine they were measured on.
+type SpeedHost struct {
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Runs   int    `json:"runs"` // K of the median-of-K
+
+	Rows []SpeedHostRow `json:"rows"`
+
+	// Aggregates: total instructions over total median seconds, per
+	// engine and combined.
+	EmuMIPS       float64 `json:"emuMips"`
+	PipeMIPS      float64 `json:"pipeMips"`
+	AggregateMIPS float64 `json:"aggregateMips"`
+}
+
+// SpeedDoc is the `cfdbench -speed` output: the gated work section and
+// the informational host section.
+type SpeedDoc struct {
+	Schema  string      `json:"schema"`
+	Version int         `json:"version"`
+	Work    []SpeedWork `json:"work"`
+	Host    SpeedHost   `json:"host"`
+}
+
+// SpeedBenchmark runs the pinned spec matrix on both engines and returns
+// the document. runs overrides the median-of-K width (0 = SpeedRuns).
+func SpeedBenchmark(runs int) (*SpeedDoc, error) {
+	if runs <= 0 {
+		runs = SpeedRuns
+	}
+	cfg := config.SandyBridge()
+	doc := &SpeedDoc{
+		Schema:  SpeedSchema,
+		Version: SpeedVersion,
+		Host: SpeedHost{
+			GoOS:   runtime.GOOS,
+			GoArch: runtime.GOARCH,
+			CPUs:   runtime.NumCPU(),
+			Runs:   runs,
+		},
+	}
+	var emuInstr, pipeInstr uint64
+	var emuSec, pipeSec float64
+	for _, s := range workload.All() {
+		for _, v := range s.Variants {
+			n := s.TestN * speedScale
+			p, m, err := s.Build(v, n)
+			if err != nil {
+				return nil, fmt.Errorf("harness: speed %s/%s: %w", s.Name, v, err)
+			}
+			work := SpeedWork{Workload: s.Name, Variant: string(v), N: n}
+			times := make([]float64, runs)
+
+			for k := 0; k < runs; k++ {
+				em := emu.New(p, m.Clone())
+				t0 := time.Now()
+				if err := em.Run(0); err != nil {
+					return nil, fmt.Errorf("harness: speed %s/%s emulator: %w", s.Name, v, err)
+				}
+				times[k] = time.Since(t0).Seconds()
+				if k == 0 {
+					work.EmuRetired = em.Retired
+				} else if em.Retired != work.EmuRetired {
+					return nil, fmt.Errorf("harness: speed %s/%s: emulator retired %d then %d",
+						s.Name, v, work.EmuRetired, em.Retired)
+				}
+			}
+			row := SpeedHostRow{Workload: s.Name, Variant: string(v)}
+			row.EmuSeconds = median(times)
+			row.EmuMIPS = mips(work.EmuRetired, row.EmuSeconds)
+
+			for k := 0; k < runs; k++ {
+				core, err := pipeline.New(cfg, p, m.Clone())
+				if err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				if err := core.Run(0); err != nil {
+					return nil, fmt.Errorf("harness: speed %s/%s pipeline: %w", s.Name, v, err)
+				}
+				times[k] = time.Since(t0).Seconds()
+				if k == 0 {
+					work.PipeRetired = core.Stats.Retired
+					work.PipeCycles = core.Stats.Cycles
+				} else if core.Stats.Retired != work.PipeRetired || core.Stats.Cycles != work.PipeCycles {
+					return nil, fmt.Errorf("harness: speed %s/%s: pipeline work diverged between runs",
+						s.Name, v)
+				}
+			}
+			row.PipeSeconds = median(times)
+			row.PipeMIPS = mips(work.PipeRetired, row.PipeSeconds)
+
+			doc.Work = append(doc.Work, work)
+			doc.Host.Rows = append(doc.Host.Rows, row)
+			emuInstr += work.EmuRetired
+			pipeInstr += work.PipeRetired
+			emuSec += row.EmuSeconds
+			pipeSec += row.PipeSeconds
+		}
+	}
+	doc.Host.EmuMIPS = mips(emuInstr, emuSec)
+	doc.Host.PipeMIPS = mips(pipeInstr, pipeSec)
+	doc.Host.AggregateMIPS = mips(emuInstr+pipeInstr, emuSec+pipeSec)
+	return doc, nil
+}
+
+// median returns the median of xs without reordering the caller's view of
+// the measurements mattering (xs is sorted in place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func mips(instr uint64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(instr) / seconds / 1e6
+}

@@ -12,8 +12,19 @@ type page [PageSize]byte
 
 // Memory is a sparse 64-bit byte-addressable memory. The zero value is not
 // usable; call New. Unwritten bytes read as zero.
+//
+// A Memory is single-writer: the engines own their memories for the length
+// of a run. Reads also update the internal last-page cache, so even
+// read-only sharing across goroutines is not safe.
 type Memory struct {
 	pages map[uint64]*page
+
+	// Last-page cache: simulated accesses are heavily page-local, so one
+	// remembered (page number, page) pair turns most lookups into a
+	// compare. lastPage == nil means the cache is empty (never that the
+	// page is absent).
+	lastPN   uint64
+	lastPage *page
 }
 
 // New returns an empty memory.
@@ -21,11 +32,18 @@ func New() *Memory { return &Memory{pages: make(map[uint64]*page)} }
 
 func (m *Memory) pageFor(addr uint64, alloc bool) *page {
 	pn := addr / PageSize
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
-	if p == nil && alloc {
+	if p == nil {
+		if !alloc {
+			return nil
+		}
 		p = new(page)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
@@ -46,6 +64,24 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 // Read returns size bytes (1, 2, 4, or 8) at addr as a little-endian,
 // zero-extended value. Accesses may cross page boundaries.
 func (m *Memory) Read(addr uint64, size int) uint64 {
+	off := addr % PageSize
+	if off+uint64(size) <= PageSize {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 1:
+			return uint64(p[off])
+		}
+	}
+	// Page-crossing (or unusual size): byte path.
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
@@ -56,6 +92,24 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 // Write stores the low size bytes (1, 2, 4, or 8) of val at addr,
 // little-endian.
 func (m *Memory) Write(addr uint64, size int, val uint64) {
+	off := addr % PageSize
+	if off+uint64(size) <= PageSize {
+		p := m.pageFor(addr, true)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], val)
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+			return
+		case 1:
+			p[off] = byte(val)
+			return
+		}
+	}
 	for i := 0; i < size; i++ {
 		m.StoreByte(addr+uint64(i), byte(val>>(8*i)))
 	}
@@ -63,15 +117,35 @@ func (m *Memory) Write(addr uint64, size int, val uint64) {
 
 // LoadBytes copies len(dst) bytes starting at addr into dst.
 func (m *Memory) LoadBytes(addr uint64, dst []byte) {
-	for i := range dst {
-		dst[i] = m.LoadByte(addr + uint64(i))
+	for len(dst) > 0 {
+		off := addr % PageSize
+		n := PageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.pageFor(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
 	}
 }
 
 // StoreBytes copies src into memory starting at addr.
 func (m *Memory) StoreBytes(addr uint64, src []byte) {
-	for i, b := range src {
-		m.StoreByte(addr+uint64(i), b)
+	for len(src) > 0 {
+		off := addr % PageSize
+		n := PageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.pageFor(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
 	}
 }
 

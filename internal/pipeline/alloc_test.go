@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cfd/internal/mem"
+)
+
+// TestPipelineSteadyStateZeroAllocs is the hot-loop allocation ceiling:
+// once warm, Cycle() must not allocate at all. Rename holds pregs in a
+// fixed free list, the event wheel reuses its per-slot slices, the ROB
+// ring builds uops in place — a regression in any of them shows up here
+// as a fractional allocs-per-run.
+func TestPipelineSteadyStateZeroAllocs(t *testing.T) {
+	m := mem.New()
+	m.WriteUint64s(0x10000, randomArray(2000, 100, 17))
+	c, err := New(testConfig(), cfdLoop(0x10000, 0x80000, 2000, 50), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: let every pool, ring, and event slot reach its steady size.
+	for i := 0; i < 20000; i++ {
+		if c.done {
+			t.Fatal("workload finished during warm-up; enlarge it")
+		}
+		if err := c.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			if c.done {
+				t.Fatal("workload finished during measurement; enlarge it")
+			}
+			if err := c.Cycle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if got != 0 {
+		t.Errorf("steady-state Cycle() allocates: %g allocs per 100 cycles, want 0", got)
+	}
+}

@@ -64,14 +64,15 @@ func cfdOverheadOp(op isa.Op) bool {
 // Cycle call, after every stage has acted, immediately before Stats.Cycles
 // is incremented.
 func (c *Core) attributeCycle() {
+	var b stats.CPIBucket
 	switch {
 	case c.cycRetired > 0:
 		c.ohDebt += c.cycOverhead
 		if c.ohDebt >= c.cfg.RetireWidth {
 			c.ohDebt -= c.cfg.RetireWidth
-			c.Stats.CPI.Add(stats.CPICFDOverhead)
+			b = stats.CPICFDOverhead
 		} else {
-			c.Stats.CPI.Add(stats.CPIRetiring)
+			b = stats.CPIRetiring
 		}
 
 	case c.robCount() == 0:
@@ -79,16 +80,16 @@ func (c *Core) attributeCycle() {
 		switch {
 		case c.shadow.active:
 			if c.shadow.specPop {
-				c.Stats.CPI.Add(stats.CPISpecPopRecovery)
+				b = stats.CPISpecPopRecovery
 			} else {
-				c.Stats.CPI.Add(stats.CPIRecoverNoData + stats.CPIBucket(c.shadow.level))
+				b = stats.CPIRecoverNoData + stats.CPIBucket(c.shadow.level)
 			}
 		case c.cycStall == stallBQFull, c.cycStall == stallBQMiss:
-			c.Stats.CPI.Add(stats.CPIBQStall)
+			b = stats.CPIBQStall
 		case c.cycStall == stallTQMiss:
-			c.Stats.CPI.Add(stats.CPITQStall)
+			b = stats.CPITQStall
 		default:
-			c.Stats.CPI.Add(stats.CPIFetchStall)
+			b = stats.CPIFetchStall
 		}
 
 	default:
@@ -100,9 +101,13 @@ func (c *Core) attributeCycle() {
 			if lvl < cache.L1 {
 				lvl = cache.L1
 			}
-			c.Stats.CPI.Add(stats.CPIMemL1 + stats.CPIBucket(lvl-cache.L1))
+			b = stats.CPIMemL1 + stats.CPIBucket(lvl-cache.L1)
 		} else {
-			c.Stats.CPI.Add(stats.CPIBackend)
+			b = stats.CPIBackend
 		}
 	}
+	c.Stats.CPI.Add(b)
+	// Remembered so an idle-skip can charge fast-forwarded copies of this
+	// cycle to the same bucket.
+	c.lastBucket = b
 }

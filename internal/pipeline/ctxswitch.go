@@ -25,10 +25,49 @@ func isCtxSwitch(op isa.Op) bool {
 	return false
 }
 
+// ctxImage returns the reusable image buffer, grown to at least n bytes.
+// One buffer serves all six operations: the machine is drained during a
+// save/restore, so only one image is ever live.
+func (c *Core) ctxImage(n int) []byte {
+	if cap(c.ctxImg) < n {
+		c.ctxImg = make([]byte, n)
+	}
+	return c.ctxImg[:n]
+}
+
+// Scratch architectural queues, created on first use and then recycled:
+// workloads that context-switch do so in a loop, and allocating three
+// queues plus images per switch showed up in the save/restore profile.
+func (c *Core) scratchBQ() *core.BQ {
+	if c.ctxBQ == nil {
+		c.ctxBQ = core.NewBQ(c.bq.size)
+	}
+	c.ctxBQ.Reset()
+	return c.ctxBQ
+}
+
+func (c *Core) scratchTQ() *core.TQ {
+	if c.ctxTQ == nil {
+		c.ctxTQ = core.NewTQ(c.tq.size)
+	}
+	c.ctxTQ.Reset()
+	return c.ctxTQ
+}
+
+func (c *Core) scratchVQ() *core.VQ {
+	if c.ctxVQ == nil {
+		c.ctxVQ = core.NewVQ(c.vq.size)
+	}
+	c.ctxVQ.Reset()
+	return c.ctxVQ
+}
+
 // fetchCtxSwitch handles a save/restore at fetch: stall until the machine
 // drains, then apply the operation architecturally and emit a pre-executed
 // uop whose completion models the serialization latency.
 func (c *Core) fetchCtxSwitch(u *uop) (stall bool, err error) {
+	// The uop being fetched sits in the slot at fqTail, which is not
+	// counted until the fetch sticks, so a drained machine reads zero.
 	if c.robCount() > 0 || c.fqLen() > 0 {
 		return true, nil // serialize: drain first
 	}
@@ -37,11 +76,15 @@ func (c *Core) fetchCtxSwitch(u *uop) (stall bool, err error) {
 	switch u.inst.Op {
 	case isa.SaveBQ:
 		q, n := c.archBQ()
-		c.mem.StoreBytes(addr, q.Save())
+		img := c.ctxImage(q.ImageSize())
+		if err := q.SaveTo(img); err != nil {
+			return false, err
+		}
+		c.mem.StoreBytes(addr, img)
 		lat += uint64(n)
 	case isa.RestoreBQ:
-		q := core.NewBQ(c.bq.size)
-		img := make([]byte, q.ImageSize())
+		q := c.scratchBQ()
+		img := c.ctxImage(q.ImageSize())
 		c.mem.LoadBytes(addr, img)
 		if err := q.Restore(img); err != nil {
 			return false, err
@@ -49,37 +92,46 @@ func (c *Core) fetchCtxSwitch(u *uop) (stall bool, err error) {
 		// Reset the hardware BQ: contents at the front, pushed bits set.
 		c.bq.specHead, c.bq.commHead, c.bq.specTail = 0, 0, 0
 		c.bq.markOK = false
-		for _, pred := range q.Contents() {
-			e := &c.bq.entries[c.bq.specTail%uint64(c.bq.size)]
-			*e = bqEntryHW{pred: pred, pushed: true}
+		for i := 0; i < q.Len(); i++ {
+			e := c.bq.at(c.bq.specTail)
+			*e = bqEntryHW{pred: q.At(i), pushed: true}
 			c.bq.specTail++
 		}
 		lat += uint64(q.Len())
 	case isa.SaveTQ:
 		q, n := c.archTQ()
-		c.mem.StoreBytes(addr, q.Save())
+		img := c.ctxImage(q.ImageSize())
+		if err := q.SaveTo(img); err != nil {
+			return false, err
+		}
+		c.mem.StoreBytes(addr, img)
 		lat += uint64(n)
 	case isa.RestoreTQ:
-		q := core.NewTQ(c.tq.size)
-		img := make([]byte, q.ImageSize())
+		q := c.scratchTQ()
+		img := c.ctxImage(q.ImageSize())
 		c.mem.LoadBytes(addr, img)
 		if err := q.Restore(img); err != nil {
 			return false, err
 		}
 		c.tq.specHead, c.tq.commHead, c.tq.specTail = 0, 0, 0
-		for _, e := range q.Contents() {
-			hw := &c.tq.entries[c.tq.specTail%uint64(c.tq.size)]
+		for i := 0; i < q.Len(); i++ {
+			e := q.At(i)
+			hw := c.tq.at(c.tq.specTail)
 			*hw = tqEntryHW{count: e.Count, overflow: e.Overflow, pushed: true}
 			c.tq.specTail++
 		}
 		lat += uint64(q.Len())
 	case isa.SaveVQ:
 		q, n := c.archVQ()
-		c.mem.StoreBytes(addr, q.Save())
+		img := c.ctxImage(q.ImageSize())
+		if err := q.SaveTo(img); err != nil {
+			return false, err
+		}
+		c.mem.StoreBytes(addr, img)
 		lat += uint64(n)
 	case isa.RestoreVQ:
-		q := core.NewVQ(c.vq.size)
-		img := make([]byte, q.ImageSize())
+		q := c.scratchVQ()
+		img := c.ctxImage(q.ImageSize())
 		c.mem.LoadBytes(addr, img)
 		if err := q.Restore(img); err != nil {
 			return false, err
@@ -88,15 +140,15 @@ func (c *Core) fetchCtxSwitch(u *uop) (stall bool, err error) {
 		// allocate fresh ones for the restored values (the cracked
 		// load+push sequence of §IV-B2).
 		for c.vq.commHead < c.vq.specTail {
-			c.freePreg(c.vq.mapping[c.vq.commHead%uint64(c.vq.size)])
+			c.freePreg(*c.vq.at(c.vq.commHead))
 			c.vq.commHead++
 		}
 		c.vq.specHead, c.vq.commHead, c.vq.specTail = 0, 0, 0
-		for _, v := range q.Contents() {
+		for i := 0; i < q.Len(); i++ {
 			pr := c.allocPreg()
-			c.prf[pr] = v
+			c.prf[pr] = q.At(i)
 			c.prfReady[pr] = true
-			c.vq.mapping[c.vq.specTail%uint64(c.vq.size)] = pr
+			*c.vq.at(c.vq.specTail) = pr
 			c.vq.specTail++
 		}
 		lat += uint64(q.Len())
@@ -117,22 +169,23 @@ func (c *Core) committedReg(r isa.Reg) uint64 {
 }
 
 // archBQ reconstructs the architectural BQ (committed head through
-// speculative tail; identical when drained) and its occupancy.
+// speculative tail; identical when drained) and its occupancy into the
+// reusable scratch queue.
 func (c *Core) archBQ() (*core.BQ, int) {
-	q := core.NewBQ(c.bq.size)
+	q := c.scratchBQ()
 	n := 0
 	for pos := c.bq.commHead; pos < c.bq.specTail; pos++ {
-		_ = q.Push(c.bq.entries[pos%uint64(c.bq.size)].pred)
+		_ = q.Push(c.bq.at(pos).pred)
 		n++
 	}
 	return q, n
 }
 
 func (c *Core) archTQ() (*core.TQ, int) {
-	q := core.NewTQ(c.tq.size)
+	q := c.scratchTQ()
 	n := 0
 	for pos := c.tq.commHead; pos < c.tq.specTail; pos++ {
-		e := c.tq.entries[pos%uint64(c.tq.size)]
+		e := *c.tq.at(pos)
 		if e.overflow {
 			_ = q.Push(uint64(maxTripCount) + 1)
 		} else {
@@ -144,10 +197,10 @@ func (c *Core) archTQ() (*core.TQ, int) {
 }
 
 func (c *Core) archVQ() (*core.VQ, int) {
-	q := core.NewVQ(c.vq.size)
+	q := c.scratchVQ()
 	n := 0
 	for pos := c.vq.commHead; pos < c.vq.specTail; pos++ {
-		_ = q.Push(c.prf[c.vq.mapping[pos%uint64(c.vq.size)]])
+		_ = q.Push(c.prf[*c.vq.at(pos)])
 		n++
 	}
 	return q, n

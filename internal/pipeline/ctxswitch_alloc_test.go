@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cfd/internal/isa"
+	"cfd/internal/mem"
+	"cfd/internal/prog"
+)
+
+// TestCtxSwitchSaveRestoreZeroAllocs pins the context-switch fast path:
+// once the scratch queues and image buffer exist, a full save/restore
+// round trip of all three queues must not allocate. The first switch may
+// allocate (lazily created scratch, first-touch memory pages); steady
+// state may not — save/restore used to build three fresh architectural
+// queues and images per switch.
+func TestCtxSwitchSaveRestoreZeroAllocs(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(testConfig(), p, mem.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate the drained hardware queues directly, as retired pushes
+	// would have.
+	for i := 0; i < 8; i++ {
+		e := c.bq.at(c.bq.specTail)
+		*e = bqEntryHW{pred: i%3 == 0, pushed: true}
+		c.bq.specTail++
+	}
+	for i := 0; i < 5; i++ {
+		e := c.tq.at(c.tq.specTail)
+		*e = tqEntryHW{count: uint32(10 + i), pushed: true}
+		c.tq.specTail++
+	}
+	for i := 0; i < 4; i++ {
+		pr := c.allocPreg()
+		c.prf[pr] = uint64(0xbeef0000 + i)
+		c.prfReady[pr] = true
+		*c.vq.at(c.vq.specTail) = pr
+		c.vq.specTail++
+	}
+
+	mk := func(op isa.Op, addr int64) *uop {
+		return &uop{inst: isa.Inst{Op: op, Rs1: isa.Zero, Imm: addr}}
+	}
+	ops := []*uop{
+		mk(isa.SaveBQ, 0x1000), mk(isa.SaveTQ, 0x2000), mk(isa.SaveVQ, 0x4000),
+		mk(isa.RestoreBQ, 0x1000), mk(isa.RestoreTQ, 0x2000), mk(isa.RestoreVQ, 0x4000),
+	}
+	roundTrip := func() {
+		for _, u := range ops {
+			if stall, err := c.fetchCtxSwitch(u); err != nil || stall {
+				t.Fatalf("%v: stall=%v err=%v", u.inst.Op, stall, err)
+			}
+		}
+	}
+	roundTrip() // warm up scratch buffers and memory pages
+
+	if avg := testing.AllocsPerRun(50, roundTrip); avg != 0 {
+		t.Errorf("save/restore round trip allocates %.1f times per switch, want 0", avg)
+	}
+}

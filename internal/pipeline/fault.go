@@ -99,12 +99,15 @@ func (c *Core) checkInvariants() error {
 			c.vq.commHead, c.vq.specHead, c.vq.specTail)
 	case c.vq.length() > c.vq.size:
 		return breach("VQ occupancy %d exceeds size %d", c.vq.length(), c.vq.size)
-	case c.flHead > c.flTail || int(c.flTail-c.flHead) > len(c.freeRing):
-		return breach("freelist pointers out of order: head %d, tail %d, ring %d",
-			c.flHead, c.flTail, len(c.freeRing))
-	case c.robHead > c.robTail || c.robCount() > len(c.rob):
+	case c.flHead > c.flTail || int(c.flTail-c.flHead) > c.cfg.NumPhysRegs:
+		return breach("freelist pointers out of order: head %d, tail %d, regs %d",
+			c.flHead, c.flTail, c.cfg.NumPhysRegs)
+	case c.robHead > c.robTail || c.robCount() > c.cfg.ROBSize:
 		return breach("ROB pointers out of order: head %d, tail %d, size %d",
-			c.robHead, c.robTail, len(c.rob))
+			c.robHead, c.robTail, c.cfg.ROBSize)
+	case c.fqTail < c.robTail || uint64(len(c.rob)) < c.fqTail-c.robHead:
+		return breach("front-end queue pointers out of order: robHead %d, robTail %d, fqTail %d",
+			c.robHead, c.robTail, c.fqTail)
 	case c.usedCkpts < 0 || c.usedCkpts > c.cfg.NumCheckpoints:
 		return breach("checkpoint count %d outside [0,%d]", c.usedCkpts, c.cfg.NumCheckpoints)
 	case c.lqCount < 0 || c.lqCount > c.cfg.LQSize:

@@ -24,13 +24,19 @@ func (c *Core) fetch() error {
 		}
 		in := c.prog.At(c.fetchPC)
 
-		u := uop{
+		// Build the uop in place in the rob-ring slot it will occupy
+		// (copying a uop is a few hundred bytes; one per stage adds up).
+		// fqTail only advances if the fetch sticks, so a stall simply
+		// abandons the slot.
+		u := c.robAt(c.fqTail)
+		*u = uop{
 			seq: c.seq, pc: c.fetchPC, inst: in,
 			readyAt: c.now + c.feDelay, fetchAt: c.now,
 			pdst: noReg, psrc1: noReg, psrc2: noReg, psrc3: noReg,
 			pold: noReg, vqSrcPreg: noReg,
 			bqIdx: -1, tqIdx: -1, vqIdx: -1,
 		}
+		u.port, u.mulDiv = portFor(in.Op)
 		next := c.fetchPC + 1
 		redirect := false
 		stall := false
@@ -39,7 +45,7 @@ func (c *Core) fetch() error {
 		case isCtxSwitch(op):
 			// Queue save/restore serializes: drain, apply
 			// architecturally, charge the cracked-sequence latency.
-			st, err := c.fetchCtxSwitch(&u)
+			st, err := c.fetchCtxSwitch(u)
 			if err != nil {
 				return err
 			}
@@ -74,11 +80,11 @@ func (c *Core) fetch() error {
 			}
 			u.usedPredictor = true
 			u.hist = c.pred.Snapshot()
-			c.btbProbe(&u, true)
+			c.btbProbe(u, true)
 			next, redirect = u.predTarget, true
 
 		case op == isa.BranchBQ:
-			done, st := c.fetchBranchBQ(&u)
+			done, st := c.fetchBranchBQ(u)
 			if st {
 				stall = true
 				break
@@ -99,10 +105,10 @@ func (c *Core) fetch() error {
 			u.hist = c.pred.Snapshot()
 			c.pred.OnFetchOutcome(c.fetchPC, u.actTaken)
 			if u.actTaken {
-				c.btbProbe(&u, true)
+				c.btbProbe(u, true)
 				next, redirect = u.actTarget, true
 			} else {
-				c.btbProbe(&u, false)
+				c.btbProbe(u, false)
 			}
 
 		case op == isa.PopTQ, op == isa.PopTQOV:
@@ -111,15 +117,17 @@ func (c *Core) fetch() error {
 				// wrong path): stall like a TQ miss.
 				c.Stats.TQMissStalls++
 				c.cycStall = stallTQMiss
+				c.cycStallCtr = &c.Stats.TQMissStalls
 				stall = true
 				break
 			}
-			e := &c.tq.entries[c.tq.specHead%uint64(c.tq.size)]
+			e := c.tq.at(c.tq.specHead)
 			if !e.pushed {
 				// TQ miss: the chosen policy is to stall fetch until
 				// the push executes (§IV-C3).
 				c.Stats.TQMissStalls++
 				c.cycStall = stallTQMiss
+				c.cycStallCtr = &c.Stats.TQMissStalls
 				stall = true
 				break
 			}
@@ -137,13 +145,13 @@ func (c *Core) fetch() error {
 					u.predTaken, u.actTaken = true, true
 					u.hist = c.pred.Snapshot()
 					c.pred.OnFetchOutcome(c.fetchPC, true)
-					c.btbProbe(&u, true)
+					c.btbProbe(u, true)
 					next, redirect = u.actTarget, true
 				} else {
 					c.specTCR = uint64(e.count)
 					u.hist = c.pred.Snapshot()
 					c.pred.OnFetchOutcome(c.fetchPC, false)
-					c.btbProbe(&u, false)
+					c.btbProbe(u, false)
 				}
 			} else {
 				if e.overflow {
@@ -161,12 +169,13 @@ func (c *Core) fetch() error {
 				// retires (§III-C3).
 				c.Stats.BQFullStalls++
 				c.cycStall = stallBQFull
+				c.cycStallCtr = &c.Stats.BQFullStalls
 				stall = true
 				break
 			}
 			c.Meter.Add(energy.BQAccess, 1)
 			u.bqIdx = int64(c.bq.specTail)
-			e := &c.bq.entries[c.bq.specTail%uint64(c.bq.size)]
+			e := c.bq.at(c.bq.specTail)
 			*e = bqEntryHW{}
 			c.bq.specTail++
 
@@ -174,12 +183,13 @@ func (c *Core) fetch() error {
 			if c.tq.length() >= c.tq.size {
 				c.Stats.BQFullStalls++
 				c.cycStall = stallTQMiss
+				c.cycStallCtr = &c.Stats.BQFullStalls
 				stall = true
 				break
 			}
 			c.Meter.Add(energy.TQAccess, 1)
 			u.tqIdx = int64(c.tq.specTail)
-			e := &c.tq.entries[c.tq.specTail%uint64(c.tq.size)]
+			e := c.tq.at(c.tq.specTail)
 			*e = tqEntryHW{}
 			c.tq.specTail++
 
@@ -200,9 +210,9 @@ func (c *Core) fetch() error {
 			u.isCond = true
 			u.actTarget = in.Target(c.fetchPC) // filled for convenience; direction at execute
 			u.predTarget = u.actTarget
-			taken := c.predictCond(&u)
+			taken := c.predictCond(u)
 			u.predTaken = taken
-			c.btbProbe(&u, taken)
+			c.btbProbe(u, taken)
 			if taken {
 				next, redirect = u.predTarget, true
 			}
@@ -211,11 +221,11 @@ func (c *Core) fetch() error {
 		if stall {
 			break
 		}
+		c.fqTail++
 		c.seq++
 		c.Stats.Fetched++
 		c.Meter.Add(energy.Fetch, 1)
 		c.Meter.Add(energy.Decode, 1)
-		c.frontQ = append(c.frontQ, u)
 		c.fetchPC = next
 		if u.isHalt {
 			break
@@ -264,7 +274,7 @@ func (c *Core) fetchBranchBQ(u *uop) (next uint64, stall bool) {
 		return c.bqMiss(u)
 	}
 	c.Meter.Add(energy.BQAccess, 1)
-	e := &c.bq.entries[c.bq.specHead%uint64(c.bq.size)]
+	e := c.bq.at(c.bq.specHead)
 	if e.pushed {
 		// Timely, non-speculative branching: the predicate is here.
 		u.resolvedFetch = true
@@ -287,6 +297,7 @@ func (c *Core) bqMiss(u *uop) (next uint64, stall bool) {
 	if c.cfg.BQMissPolicy == config.StallFetch {
 		c.Stats.BQMissStalls++
 		c.cycStall = stallBQMiss
+		c.cycStallCtr = &c.Stats.BQMissStalls
 		return 0, true
 	}
 	// Speculative pop: predict the predicate with the branch predictor and
@@ -299,7 +310,7 @@ func (c *Core) bqMiss(u *uop) (next uint64, stall bool) {
 	u.hist = c.pred.Snapshot()
 	c.pred.OnFetchOutcome(u.pc, u.predTaken)
 	if c.bq.specHead < c.bq.specTail {
-		e := &c.bq.entries[c.bq.specHead%uint64(c.bq.size)]
+		e := c.bq.at(c.bq.specHead)
 		e.popped = true
 		e.predPred = u.predTaken
 		e.popSeq = u.seq

@@ -32,6 +32,21 @@ func portFor(op isa.Op) (port, bool) {
 	}
 }
 
+// iqEnt is a compact issue-queue entry: just the operand registers and port
+// routing the wakeup/select scan needs, so the per-cycle walk stays within a
+// cache line per entry instead of dragging whole uops through the cache.
+type iqEnt struct {
+	pos    uint64 // rob position
+	seq    uint64
+	psrc1  int32
+	psrc2  int32
+	psrc3  int32
+	vqSrc  int32
+	port   port
+	mulDiv bool
+	isLoad bool
+}
+
 // issue selects ready instructions from the issue queue — oldest first, up
 // to IssueWidth and the per-port limits — and executes them: values are
 // computed here (execute-at-execute) and completion is scheduled after the
@@ -45,35 +60,35 @@ func (c *Core) issue() {
 	issued := 0
 
 	kept := c.iq[:0]
-	for qi, pos := range c.iq {
-		u := c.robAt(pos)
-		if issued >= c.cfg.IssueWidth {
+	for qi := range c.iq {
+		e := &c.iq[qi]
+		if issued >= c.cfg.IssueWidth || aluLeft+memLeft+brLeft == 0 {
 			kept = append(kept, c.iq[qi:]...)
 			break
 		}
-		p, isMulDiv := portFor(u.inst.Op)
 		avail := false
-		switch p {
+		switch e.port {
 		case portALU:
-			avail = aluLeft > 0 && (!isMulDiv || mulDivLeft > 0)
+			avail = aluLeft > 0 && (!e.mulDiv || mulDivLeft > 0)
 		case portMem:
 			avail = memLeft > 0
 		case portBr:
 			avail = brLeft > 0
 		}
-		if !avail || !c.ready(u) {
-			kept = append(kept, pos)
+		if !avail || !c.ready(e) {
+			kept = append(kept, *e)
 			continue
 		}
-		if !c.execute(u, pos) {
-			kept = append(kept, pos) // load blocked on a store conflict
+		u := c.robAt(e.pos)
+		if !c.execute(u, e.pos) {
+			kept = append(kept, *e) // load blocked on a store conflict
 			continue
 		}
 		issued++
-		switch p {
+		switch e.port {
 		case portALU:
 			aluLeft--
-			if isMulDiv {
+			if e.mulDiv {
 				mulDivLeft--
 			}
 		case portMem:
@@ -85,56 +100,67 @@ func (c *Core) issue() {
 		c.Meter.Add(energy.IQIssue, 1)
 	}
 	c.iq = kept
+	c.cycIssued = issued
 }
 
 // ready reports whether all source operands are available and, for loads,
 // whether every older store has resolved its address and data.
-func (c *Core) ready(u *uop) bool {
-	if u.psrc1 >= 0 && !c.prfReady[u.psrc1] {
+func (c *Core) ready(e *iqEnt) bool {
+	if e.psrc1 >= 0 && !c.prfReady[e.psrc1] {
 		return false
 	}
-	if u.psrc2 >= 0 && !c.prfReady[u.psrc2] {
+	if e.psrc2 >= 0 && !c.prfReady[e.psrc2] {
 		return false
 	}
-	if u.psrc3 >= 0 && !c.prfReady[u.psrc3] {
+	if e.psrc3 >= 0 && !c.prfReady[e.psrc3] {
 		return false
 	}
-	if u.vqSrcPreg >= 0 && !c.prfReady[u.vqSrcPreg] {
+	if e.vqSrc >= 0 && !c.prfReady[e.vqSrc] {
 		return false
 	}
-	if u.isLoad {
-		for pos := c.sqHead; pos < c.sqTail; pos++ {
-			e := &c.sq[pos%uint64(len(c.sq))]
-			if e.seq >= u.seq {
-				break
-			}
-			if !e.addrOK {
-				return false
-			}
-		}
+	if e.isLoad && e.seq > c.sqResolvedTo {
+		// An older store has not resolved its address yet.
+		return false
 	}
 	return true
 }
 
 // agenStores resolves store addresses as soon as the base register is
 // ready, independent of the data operand, so memory disambiguation does not
-// serialize younger loads behind pending store data.
+// serialize younger loads behind pending store data. It also refreshes
+// sqResolvedTo — the seq below which every store queue entry has a resolved
+// address — which is all ready() needs to disambiguate a load.
 func (c *Core) agenStores() {
+	resolvedTo := ^uint64(0)
 	for pos := c.sqHead; pos < c.sqTail; pos++ {
-		e := &c.sq[pos%uint64(len(c.sq))]
+		e := c.sqAt(pos)
 		if e.addrOK {
 			continue
 		}
 		u := c.robAt(e.robPos)
-		if u.seq != e.seq || u.squashed {
-			continue
-		}
-		if u.psrc1 >= 0 && c.prfReady[u.psrc1] {
+		if u.seq == e.seq && !u.squashed && u.psrc1 >= 0 && c.prfReady[u.psrc1] {
 			e.addr = c.prf[u.psrc1] + uint64(u.inst.Imm)
 			e.size = emu.StoreSize(u.inst.Op)
 			e.addrOK = true
+			continue
+		}
+		if resolvedTo == ^uint64(0) {
+			resolvedTo = e.seq
 		}
 	}
+	c.sqResolvedTo = resolvedTo
+}
+
+// advanceSQResolved recomputes sqResolvedTo after the formerly-oldest
+// unresolved store resolved mid-cycle.
+func (c *Core) advanceSQResolved() {
+	for pos := c.sqHead; pos < c.sqTail; pos++ {
+		if e := c.sqAt(pos); !e.addrOK {
+			c.sqResolvedTo = e.seq
+			return
+		}
+	}
+	c.sqResolvedTo = ^uint64(0)
 }
 
 func (c *Core) readSrc(pr int32) (uint64, cache.ServiceLevel) {
@@ -199,9 +225,12 @@ func (c *Core) execute(u *uop, pos uint64) bool {
 		addr := v1 + uint64(u.inst.Imm)
 		size := emu.StoreSize(op)
 		u.addr, u.storeData, u.storeSize = addr, v2&sizeMask(size), size
-		e := &c.sq[u.sqPos%uint64(len(c.sq))]
+		e := c.sqAt(u.sqPos)
 		e.addr, e.size, e.addrOK = addr, size, true
 		e.data, e.dataOK = u.storeData, true
+		if u.seq == c.sqResolvedTo {
+			c.advanceSQResolved()
+		}
 		c.Meter.Add(energy.AGU, 1)
 		c.Meter.Add(energy.LSQOp, 1)
 
@@ -296,7 +325,7 @@ func (c *Core) chargeMemEnergy(lvl cache.ServiceLevel) {
 // store drains.
 func (c *Core) sqLookup(seq, addr uint64, size int) (val uint64, fwd, wait bool) {
 	for pos := c.sqHead; pos < c.sqTail; pos++ {
-		e := &c.sq[pos%uint64(len(c.sq))]
+		e := c.sqAt(pos)
 		if e.seq >= seq {
 			break
 		}
@@ -325,6 +354,7 @@ func (c *Core) complete() {
 	if len(evs) == 0 {
 		return
 	}
+	c.cycCompleted = len(evs)
 	c.events[slot] = evs[:0]
 	for _, ev := range evs {
 		if ev.at > c.now {
@@ -346,7 +376,7 @@ func (c *Core) complete() {
 		case u.inst.Op == isa.PushBQ:
 			c.completePushBQ(u)
 		case u.inst.Op == isa.PushTQ:
-			e := &c.tq.entries[uint64(u.tqIdx)%uint64(c.tq.size)]
+			e := c.tq.at(uint64(u.tqIdx))
 			e.overflow = u.storeData > maxTripCount
 			e.count = uint32(u.storeData & maxTripCount)
 			e.pushed = true
@@ -408,7 +438,7 @@ func (c *Core) resolveBranch(u *uop, pos uint64) {
 // checkpoint (late push).
 func (c *Core) completePushBQ(u *uop) {
 	c.Meter.Add(energy.BQAccess, 1)
-	e := &c.bq.entries[uint64(u.bqIdx)%uint64(c.bq.size)]
+	e := c.bq.at(uint64(u.bqIdx))
 	pred := u.actTaken
 	e.srcLevel = u.srcLevel
 	if e.popped {
@@ -446,9 +476,9 @@ func (c *Core) findPop(e *bqEntryHW) *uop {
 			return u
 		}
 	}
-	for i := c.fqHead; i < len(c.frontQ); i++ {
-		if c.frontQ[i].seq == e.popSeq {
-			return &c.frontQ[i]
+	for pos := c.robTail; pos < c.fqTail; pos++ {
+		if u := c.robAt(pos); u.seq == e.popSeq {
+			return u
 		}
 	}
 	return nil

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"cfd/internal/fault"
+	"cfd/internal/mem"
+	"cfd/internal/obs"
+)
+
+// TestObserverTailFlushOnFault pins the fault-path tail flush: a run the
+// watchdog kills mid-interval must leave exactly the series a clean run
+// truncated at the same cycle produces — including the final partial
+// sample, which used to be dropped along with the faulting run.
+func TestObserverTailFlushOnFault(t *testing.T) {
+	const every, cut = 64, 1000 // cut lands mid-interval, off a boundary
+
+	build := func(opts ...Option) (*Core, *obs.Observer) {
+		m := mem.New()
+		m.WriteUint64s(0x10000, randomArray(200, 100, 17))
+		cfg := testConfig()
+		o := obs.NewObserver(every, cfg.BQSize, cfg.VQSize, cfg.TQSize)
+		core, err := New(cfg, cfdLoop(0x10000, 0x80000, 200, 50), m,
+			append([]Option{WithObserver(o)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core, o
+	}
+
+	// Clean reference, truncated at the cut by stepping cycle-by-cycle.
+	clean, cleanObs := build()
+	for clean.now < cut && !clean.done {
+		if err := clean.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clean.done {
+		t.Fatalf("workload finished before cycle %d; pick a smaller cut", cut)
+	}
+	clean.FinishObservation()
+
+	// The same machine killed by a cycle-budget watchdog at the cut.
+	faulted, faultedObs := build(WithWatchdog(&fault.Watchdog{MaxCycles: cut}))
+	err := faulted.Run(0)
+	if _, ok := fault.As(err); !ok {
+		t.Fatalf("want a watchdog fault at cycle %d, got %v", cut, err)
+	}
+	// No manual FinishObservation: the fault path must have flushed.
+
+	if len(faultedObs.Samples) == 0 {
+		t.Fatal("faulted run produced no samples")
+	}
+	if last := faultedObs.Samples[len(faultedObs.Samples)-1].Cycle; last != cut {
+		t.Errorf("faulted series ends at cycle %d, want the fault cycle %d", last, cut)
+	}
+	if !reflect.DeepEqual(cleanObs.Samples, faultedObs.Samples) {
+		t.Errorf("faulted series differs from truncated-clean series\nclean:   %+v\nfaulted: %+v",
+			cleanObs.Samples, faultedObs.Samples)
+	}
+
+	// A caller-side flush after the fault-path flush records nothing.
+	before := len(faultedObs.Samples)
+	faulted.FinishObservation()
+	if len(faultedObs.Samples) != before {
+		t.Errorf("double Finish appended a sample: %d -> %d", before, len(faultedObs.Samples))
+	}
+}

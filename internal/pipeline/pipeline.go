@@ -25,6 +25,7 @@ import (
 
 	"cfd/internal/cache"
 	"cfd/internal/config"
+	"cfd/internal/core"
 	"cfd/internal/energy"
 	"cfd/internal/fault"
 	"cfd/internal/isa"
@@ -103,6 +104,11 @@ type uop struct {
 	squashed bool
 	isHalt   bool
 
+	// Issue-port routing, decided once at fetch so the per-cycle IQ scan
+	// does not re-derive it from the opcode.
+	port   port
+	mulDiv bool
+
 	// Stage timestamps (pipeline tracing).
 	fetchAt  uint64
 	renameAt uint64
@@ -128,8 +134,9 @@ type bqEntryHW struct {
 // rule (§III-C3) is specTail - commHead: fetched-but-unretired pushes
 // (pending_push_ctr) plus retired-but-unpopped entries (net_push_ctr).
 type bqHW struct {
-	size     int
-	entries  []bqEntryHW
+	size     int // architectural capacity (the fetch stall rule)
+	mask     uint64
+	entries  []bqEntryHW // len is size rounded up to a power of two
 	specHead uint64
 	specTail uint64
 	specMark uint64
@@ -138,6 +145,8 @@ type bqHW struct {
 }
 
 func (q *bqHW) length() int { return int(q.specTail - q.commHead) }
+
+func (q *bqHW) at(pos uint64) *bqEntryHW { return &q.entries[pos&q.mask] }
 
 // tqEntryHW is a physical TQ entry: trip count, overflow, pushed bit.
 type tqEntryHW struct {
@@ -148,6 +157,7 @@ type tqEntryHW struct {
 
 type tqHW struct {
 	size     int
+	mask     uint64
 	entries  []tqEntryHW
 	specHead uint64
 	specTail uint64
@@ -156,10 +166,13 @@ type tqHW struct {
 
 func (q *tqHW) length() int { return int(q.specTail - q.commHead) }
 
+func (q *tqHW) at(pos uint64) *tqEntryHW { return &q.entries[pos&q.mask] }
+
 // vqRen is the VQ renamer (paper Fig 12): a circular buffer of physical
 // register mappings in the rename stage.
 type vqRen struct {
 	size     int
+	mask     uint64
 	mapping  []int32
 	specHead uint64
 	specTail uint64
@@ -167,6 +180,8 @@ type vqRen struct {
 }
 
 func (q *vqRen) length() int { return int(q.specTail - q.commHead) }
+
+func (q *vqRen) at(pos uint64) *int32 { return &q.mapping[pos&q.mask] }
 
 // sqEntry is a store queue entry. Address generation is decoupled from
 // data: the address resolves as soon as the base register is ready, letting
@@ -252,8 +267,6 @@ type Core struct {
 	fetchStallTill uint64
 	haltFetched    bool
 	seq            uint64
-	frontQ         []uop
-	fqHead         int
 	pred           predictor.DirPredictor
 	btb            *predictor.BTB
 	ras            *predictor.RAS
@@ -279,15 +292,35 @@ type Core struct {
 	prfReady []bool
 	prfLevel []cache.ServiceLevel
 
-	// Window.
+	// Window. The rob, sq, and freeRing backings are rounded up to powers
+	// of two so monotonic positions index with a mask instead of a modulo;
+	// architectural capacities come from the config, not the backing
+	// length.
+	//
+	// The front-end queue shares the rob ring: fetch constructs each uop
+	// directly in the slot it will occupy, positions [robTail, fqTail);
+	// rename merely advances robTail, so a uop never moves once written
+	// (copying a several-hundred-byte uop per stage dominated the hot
+	// loop). The ring is sized for ROBSize plus the front-end capacity.
 	rob     []uop
+	robMask uint64
 	robHead uint64
 	robTail uint64
-	iq      []uint64 // rob positions, age order
+	fqTail  uint64
+	iq      []iqEnt // age order
 	sq      []sqEntry
+	sqMask  uint64
 	sqHead  uint64
 	sqTail  uint64
 	lqCount int
+	flMask  uint64
+
+	// sqResolvedTo is the seq of the oldest store-queue entry whose
+	// address is still unresolved (^0 when all are resolved): a load is
+	// disambiguation-ready iff its seq does not exceed it. agenStores
+	// refreshes it each cycle; a store resolving at execute advances it so
+	// same-cycle younger loads see the address, as a live SQ walk would.
+	sqResolvedTo uint64
 
 	usedCkpts int
 
@@ -316,6 +349,25 @@ type Core struct {
 	cycStall    stallCause // why fetch stalled this cycle
 	shadow      recoverShadow
 
+	// Idle-cycle skip state (see idleSkip): whether the last cycle made
+	// any progress, the CPI bucket it was charged to, and the stall
+	// counter (if any) the stalled fetch path bumped — both replicated
+	// exactly for each fast-forwarded cycle.
+	cycIssued    int
+	cycCompleted int
+	idle         bool // the last cycle made no progress
+	lastBucket   stats.CPIBucket
+	cycStallCtr  *uint64
+	idleSkipOff  bool
+
+	// Context-switch scratch (lazily created on the first save/restore,
+	// then reused) so queue save/restore allocates nothing in steady
+	// state; see ctxswitch.go.
+	ctxBQ  *core.BQ
+	ctxTQ  *core.TQ
+	ctxVQ  *core.VQ
+	ctxImg []byte
+
 	Stats Stats
 	Meter *energy.Meter
 }
@@ -339,21 +391,9 @@ func (c *Core) schedule(at, robPos, seq uint64) {
 }
 
 // fqLen returns the front-end queue occupancy.
-func (c *Core) fqLen() int { return len(c.frontQ) - c.fqHead }
+func (c *Core) fqLen() int { return int(c.fqTail - c.robTail) }
 
-func (c *Core) fqFront() *uop { return &c.frontQ[c.fqHead] }
-
-func (c *Core) fqPop() {
-	c.fqHead++
-	if c.fqHead == len(c.frontQ) {
-		c.frontQ = c.frontQ[:0]
-		c.fqHead = 0
-	} else if c.fqHead > 4096 {
-		n := copy(c.frontQ, c.frontQ[c.fqHead:])
-		c.frontQ = c.frontQ[:n]
-		c.fqHead = 0
-	}
-}
+func (c *Core) fqFront() *uop { return c.robAt(c.robTail) }
 
 // Option configures a Core.
 type Option func(*Core)
@@ -387,6 +427,11 @@ func WithDeadlockLimit(cycles uint64) Option {
 	return func(c *Core) { c.stallLimit = cycles }
 }
 
+// WithoutIdleSkip disables idle-cycle fast-forwarding, simulating every
+// cycle individually. Results are identical either way (pinned by the
+// idle-skip equivalence test); this exists for that test and for debugging.
+func WithoutIdleSkip() Option { return func(c *Core) { c.idleSkipOff = true } }
+
 // defaultStallLimit is the no-retirement-progress bound: generously above
 // any legitimate stall (a full-window chain of memory misses resolves in
 // thousands of cycles, not hundreds of thousands).
@@ -402,6 +447,14 @@ func New(cfg config.Core, p *prog.Program, m *mem.Memory, opts ...Option) (*Core
 	if m == nil {
 		m = mem.New()
 	}
+	bqCap := nextPow2(cfg.BQSize)
+	tqCap := nextPow2(cfg.TQSize)
+	vqCap := nextPow2(cfg.VQSize)
+	// The rob ring also hosts the front-end queue (see the Core field
+	// comment), so size it for both occupancies.
+	capFQ := cfg.FetchWidth * (cfg.FrontEndDepth + 1)
+	robCap := nextPow2(cfg.ROBSize + capFQ)
+	sqCap := nextPow2(cfg.SQSize)
 	c := &Core{
 		cfg:     cfg,
 		prog:    p,
@@ -411,13 +464,23 @@ func New(cfg config.Core, p *prog.Program, m *mem.Memory, opts ...Option) (*Core
 		ras:     predictor.NewRAS(cfg.RASDepth),
 		conf:    predictor.NewConfidence(12, cfg.ConfidenceThresh),
 		feDelay: uint64(cfg.FrontEndDepth - 1),
-		bq:      bqHW{size: cfg.BQSize, entries: make([]bqEntryHW, cfg.BQSize)},
-		tq:      tqHW{size: cfg.TQSize, entries: make([]tqEntryHW, cfg.TQSize)},
-		vq:      vqRen{size: cfg.VQSize, mapping: make([]int32, cfg.VQSize)},
-		rob:     make([]uop, cfg.ROBSize),
-		sq:      make([]sqEntry, cfg.SQSize),
+		bq:      bqHW{size: cfg.BQSize, mask: bqCap - 1, entries: make([]bqEntryHW, bqCap)},
+		tq:      tqHW{size: cfg.TQSize, mask: tqCap - 1, entries: make([]tqEntryHW, tqCap)},
+		vq:      vqRen{size: cfg.VQSize, mask: vqCap - 1, mapping: make([]int32, vqCap)},
+		rob:     make([]uop, robCap),
+		robMask: robCap - 1,
+		sq:      make([]sqEntry, sqCap),
+		sqMask:  sqCap - 1,
 		events:  make([][]completion, eventRing),
 		Meter:   energy.NewMeter(energy.DefaultModel(cfg.ROBSize)),
+	}
+	// Seed each completion bucket with a little capacity carved from one
+	// backing array: steady state then appends without allocating (the
+	// drain in complete() resets buckets to length zero, keeping whatever
+	// capacity they have grown to).
+	evBack := make([]completion, eventRing*4)
+	for i := range c.events {
+		c.events[i] = evBack[i*4 : i*4 : i*4+4]
 	}
 	switch cfg.Predictor {
 	case config.PredGshare:
@@ -433,7 +496,9 @@ func New(cfg config.Core, p *prog.Program, m *mem.Memory, opts ...Option) (*Core
 	c.prf = make([]uint64, n)
 	c.prfReady = make([]bool, n)
 	c.prfLevel = make([]cache.ServiceLevel, n)
-	c.freeRing = make([]int32, n)
+	flCap := nextPow2(n)
+	c.freeRing = make([]int32, flCap)
+	c.flMask = flCap - 1
 	for i := 0; i < isa.NumRegs; i++ {
 		c.rmt[i] = int32(i)
 		c.amt[i] = int32(i)
@@ -461,6 +526,10 @@ func (c *Core) Cycle() error {
 	c.cycRetired = 0
 	c.cycOverhead = 0
 	c.cycStall = stallNone
+	c.cycStallCtr = nil
+	c.cycIssued = 0
+	c.cycCompleted = 0
+	robTail0, fqTail0 := c.robTail, c.fqTail
 	if err := c.retire(); err != nil {
 		return err
 	}
@@ -472,6 +541,8 @@ func (c *Core) Cycle() error {
 	if err := c.fetch(); err != nil {
 		return err
 	}
+	c.idle = c.cycRetired == 0 && c.cycCompleted == 0 && c.cycIssued == 0 &&
+		c.robTail == robTail0 && c.fqTail == fqTail0
 	c.attributeCycle()
 	if c.obsv != nil {
 		c.obsTick()
@@ -480,6 +551,70 @@ func (c *Core) Cycle() error {
 	c.Stats.Cycles++
 	c.Meter.AddCycles(1)
 	return nil
+}
+
+// idleSkip fast-forwards over cycles in which no stage can make progress.
+//
+// A cycle with no retirement, no completion event, no issue, no rename, and
+// no fetch leaves every piece of machine state except the clock untouched,
+// so the next cycle repeats it exactly — until one of the things the frozen
+// state is waiting on arrives. Those wake sources are exhaustively:
+//
+//   - a scheduled completion event (loads, long-latency ops),
+//   - fetchStallTill expiring (BTB misfetch, ctx-switch serialization),
+//   - the front-of-queue uop's readyAt (front-end pipeline depth).
+//
+// The skip jumps the clock to the earliest of those, capped so the deadlock
+// detector and the watchdog's cycle budget still observe the exact cycle
+// numbers they would have seen cycling one by one. Each skipped cycle is
+// charged to the same CPI bucket and the same fetch-stall counter as the
+// frozen cycle just simulated, so the CPI-stack exact-sum invariant and all
+// stall statistics are bit-identical with and without skipping.
+//
+// The caller (RunCtx) disables skipping when an observer, tracer, or MSHR
+// sampler is attached: those hooks observe every cycle individually.
+func (c *Core) idleSkip(wd *fault.Watchdog, stallLimit uint64) {
+	// Never skip past the cycle where the deadlock detector must fire.
+	target := c.lastRetireCycle + stallLimit + 1
+	if wd != nil && wd.MaxCycles != 0 && wd.MaxCycles < target {
+		// ... nor past the watchdog's cycle budget.
+		target = wd.MaxCycles
+	}
+	// c.now is the next cycle to simulate (Cycle() already advanced it), so
+	// a wake source equal to c.now means that next cycle makes progress and
+	// the skip must collapse to nothing.
+	if !c.haltFetched && c.fetchStallTill >= c.now && c.fetchStallTill < target {
+		target = c.fetchStallTill
+	}
+	if c.fqLen() > 0 {
+		if ra := c.fqFront().readyAt; ra >= c.now && ra < target {
+			target = ra
+		}
+	}
+	// Every outstanding completion event occupies a ring bucket within
+	// eventRing cycles of now (far events park at the ring horizon), so a
+	// forward scan finds the earliest one.
+	scanTo := target
+	if horizon := c.now + eventRing; scanTo > horizon {
+		scanTo = horizon
+	}
+	for t := c.now; t < scanTo; t++ {
+		if len(c.events[t%eventRing]) > 0 {
+			target = t
+			break
+		}
+	}
+	if target <= c.now {
+		return
+	}
+	n := target - c.now
+	c.Stats.CPI.AddN(c.lastBucket, n)
+	if c.cycStallCtr != nil {
+		*c.cycStallCtr += n
+	}
+	c.now = target
+	c.Stats.Cycles += n
+	c.Meter.AddCycles(n)
 }
 
 // obsTick feeds the attached observer after a cycle's stages have acted:
@@ -530,7 +665,21 @@ func (c *Core) Run(maxRetired uint64) error {
 // wall-clock deadline, ctx cancellation), retirement deadlock, internal
 // invariant breaches — return a *fault.Fault carrying a machine-state
 // snapshot; RunCtx never panics on malformed programs.
+//
+// A faulting run flushes the observer's partial tail interval before
+// returning, so a faulted time series is exactly the clean series
+// truncated at the fault cycle — the final sample is not lost with the
+// run. (FinishObservation stays idempotent: no clock advances after the
+// fault, so a later caller-side flush records nothing.)
 func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) error {
+	err := c.runCtx(ctx, maxRetired)
+	if err != nil && !errors.Is(err, ErrLimit) {
+		c.FinishObservation()
+	}
+	return err
+}
+
+func (c *Core) runCtx(ctx context.Context, maxRetired uint64) error {
 	wd := c.wd
 	if ctx != nil && ctx.Done() != nil {
 		// Fold the caller's context into a run-local watchdog copy.
@@ -545,6 +694,10 @@ func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) error {
 	if limit == 0 {
 		limit = defaultStallLimit
 	}
+	// Idle-cycle skipping is off when any per-cycle hook observes the
+	// machine: the interval sampler, the pipeline tracer, and the MSHR
+	// occupancy sampler all need to see every cycle individually.
+	skip := !c.idleSkipOff && c.obsv == nil && c.trace == nil && !c.cfg.Cache.SampleMSHRs
 	c.lastRetireCycle = c.now
 	for !c.done {
 		if maxRetired != 0 && c.Stats.Retired >= maxRetired {
@@ -557,6 +710,9 @@ func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) error {
 		}
 		if err := c.Cycle(); err != nil {
 			return err
+		}
+		if skip && c.idle {
+			c.idleSkip(wd, limit)
 		}
 		if c.now-c.lastRetireCycle > limit {
 			return fault.Wrap(fault.WatchdogExpiry,
@@ -585,7 +741,7 @@ func (c *Core) Done() bool { return c.done }
 func (c *Core) freeCount() int { return int(c.flTail - c.flHead) }
 
 func (c *Core) allocPreg() int32 {
-	pr := c.freeRing[c.flHead%uint64(len(c.freeRing))]
+	pr := c.freeRing[c.flHead&c.flMask]
 	c.flHead++
 	c.prfReady[pr] = false
 	c.prfLevel[pr] = cache.NoData
@@ -597,11 +753,23 @@ func (c *Core) freePreg(pr int32) {
 		// Initial logical mappings are freed once renamed over; they
 		// re-enter the pool like any other register.
 	}
-	c.freeRing[c.flTail%uint64(len(c.freeRing))] = pr
+	c.freeRing[c.flTail&c.flMask] = pr
 	c.flTail++
 }
 
 // robAt returns the uop at a monotonic rob position.
-func (c *Core) robAt(pos uint64) *uop { return &c.rob[pos%uint64(len(c.rob))] }
+func (c *Core) robAt(pos uint64) *uop { return &c.rob[pos&c.robMask] }
+
+// sqAt returns the store-queue entry at a monotonic sq position.
+func (c *Core) sqAt(pos uint64) *sqEntry { return &c.sq[pos&c.sqMask] }
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) uint64 {
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p
+}
 
 func (c *Core) robCount() int { return int(c.robTail - c.robHead) }

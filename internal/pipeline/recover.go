@@ -16,22 +16,19 @@ import "cfd/internal/isa"
 // the monotonic pointer representation.
 func (c *Core) recoverAfter(anchorSeq, newPC uint64) {
 	// Front-end queue first: its uops are the youngest.
-	cut := len(c.frontQ)
-	for i := len(c.frontQ) - 1; i >= c.fqHead; i-- {
-		if c.frontQ[i].seq <= anchorSeq {
+	for c.fqTail > c.robTail {
+		u := c.robAt(c.fqTail - 1)
+		if u.seq <= anchorSeq {
 			break
 		}
-		c.undoFetchSide(&c.frontQ[i])
-		cut = i
+		c.undoFetchSide(u)
+		c.fqTail--
 		c.Stats.SquashedUops++
 	}
-	c.frontQ = c.frontQ[:cut]
-	if c.fqHead >= len(c.frontQ) {
-		c.frontQ = c.frontQ[:0]
-		c.fqHead = 0
-	}
 
-	// Window walk, youngest to oldest.
+	// Window walk, youngest to oldest. It only squashes when the anchor
+	// is at or below robTail, i.e. the front-end region drained entirely,
+	// so fqTail follows robTail down.
 	for c.robTail > c.robHead {
 		u := c.robAt(c.robTail - 1)
 		if u.seq <= anchorSeq {
@@ -43,14 +40,15 @@ func (c *Core) recoverAfter(anchorSeq, newPC uint64) {
 		c.traceRecord(u)
 		c.Stats.SquashedUops++
 		c.robTail--
+		c.fqTail = c.robTail
 	}
 
 	// Drop squashed issue-queue entries (they are all younger than the
 	// anchor or they would have survived the walk).
 	kept := c.iq[:0]
-	for _, pos := range c.iq {
-		if pos < c.robTail && c.robAt(pos).seq <= anchorSeq {
-			kept = append(kept, pos)
+	for _, e := range c.iq {
+		if e.pos < c.robTail && e.seq <= anchorSeq {
+			kept = append(kept, e)
 		}
 	}
 	c.iq = kept
@@ -72,7 +70,7 @@ func (c *Core) undoFetchSide(u *uop) {
 	case isa.BranchBQ:
 		if u.bqIdx >= 0 {
 			c.bq.specHead = uint64(u.bqIdx)
-			c.bq.entries[uint64(u.bqIdx)%uint64(c.bq.size)].popped = false
+			c.bq.at(uint64(u.bqIdx)).popped = false
 		}
 	case isa.MarkBQ:
 		c.bq.specMark, c.bq.markOK = u.oldMark, u.oldMarkOK

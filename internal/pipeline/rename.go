@@ -38,7 +38,7 @@ func (c *Core) rename() error {
 		if u.readyAt > c.now {
 			break
 		}
-		if c.robCount() >= len(c.rob) {
+		if c.robCount() >= c.cfg.ROBSize {
 			break
 		}
 		op := u.inst.Op
@@ -69,7 +69,7 @@ func (c *Core) rename() error {
 
 		// Checkpoint policy.
 		if u.specPop && u.bqIdx >= 0 {
-			e := &c.bq.entries[uint64(u.bqIdx)%uint64(c.bq.size)]
+			e := c.bq.at(uint64(u.bqIdx))
 			if e.pushed {
 				// The late push already confirmed (or corrected, via
 				// recovery) this pop before it renamed: it no longer
@@ -111,7 +111,7 @@ func (c *Core) rename() error {
 		}
 		if op == isa.PopVQ {
 			u.vqIdx = int64(c.vq.specHead)
-			u.vqSrcPreg = c.vq.mapping[c.vq.specHead%uint64(c.vq.size)]
+			u.vqSrcPreg = *c.vq.at(c.vq.specHead)
 			c.vq.specHead++
 			c.Meter.Add(energy.VQRenAccess, 1)
 		}
@@ -122,7 +122,7 @@ func (c *Core) rename() error {
 			u.vqIdx = int64(c.vq.specTail)
 			pr := c.allocPreg()
 			u.pdst = pr
-			c.vq.mapping[c.vq.specTail%uint64(c.vq.size)] = pr
+			*c.vq.at(c.vq.specTail) = pr
 			c.vq.specTail++
 			c.Meter.Add(energy.VQRenAccess, 1)
 		case op.WritesRd() && u.inst.Rd != isa.Zero:
@@ -144,7 +144,7 @@ func (c *Core) rename() error {
 		}
 		if u.isStore {
 			u.sqPos = c.sqTail
-			c.sq[c.sqTail%uint64(len(c.sq))] = sqEntry{seq: u.seq, robPos: c.robTail}
+			*c.sqAt(c.sqTail) = sqEntry{seq: u.seq, robPos: c.robTail}
 			c.sqTail++
 			c.Meter.Add(energy.LSQOp, 1)
 		}
@@ -155,16 +155,21 @@ func (c *Core) rename() error {
 			u.executed = true
 			u.doneAt = c.now
 		}
+		// u already lives in the rob-ring slot at robTail (fetch built it
+		// there); renaming it is a pointer bump.
 		pos := c.robTail
-		*c.robAt(pos) = *u
 		c.robTail++
 		if inIQ {
-			c.iq = append(c.iq, pos)
+			c.iq = append(c.iq, iqEnt{
+				pos: pos, seq: u.seq,
+				psrc1: u.psrc1, psrc2: u.psrc2, psrc3: u.psrc3,
+				vqSrc: u.vqSrcPreg,
+				port:  u.port, mulDiv: u.mulDiv, isLoad: u.isLoad,
+			})
 			c.Meter.Add(energy.IQWrite, 1)
 		}
 		c.Meter.Add(energy.Rename, 1)
 		c.Meter.Add(energy.ROBWrite, 1)
-		c.fqPop()
 	}
 	return nil
 }

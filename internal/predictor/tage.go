@@ -373,13 +373,20 @@ func (p *ISLTAGE) allocate(l Lookup, taken bool) {
 	start := int(l.provider + 1)
 	// Find candidate tables with u == 0; prefer a random one among the
 	// shorter eligible histories (standard TAGE uses a skewed choice).
-	var candidates []int
+	// Only the first two candidates matter, so track them in scalars —
+	// this runs on every TAGE misprediction and must not allocate.
+	first, second := -1, -1
 	for t := start; t < numTables; t++ {
 		if p.tables[t][l.indices[t]].u == 0 {
-			candidates = append(candidates, t)
+			if first < 0 {
+				first = t
+			} else {
+				second = t
+				break
+			}
 		}
 	}
-	if len(candidates) == 0 {
+	if first < 0 {
 		for t := start; t < numTables; t++ {
 			p.tables[t][l.indices[t]].u--
 			if p.tables[t][l.indices[t]].u == 255 { // underflow guard
@@ -389,9 +396,9 @@ func (p *ISLTAGE) allocate(l Lookup, taken bool) {
 		return
 	}
 	// Pick among up to the first two candidates, favoring the shorter.
-	pick := candidates[0]
-	if len(candidates) > 1 && p.rng.next()&3 == 0 {
-		pick = candidates[1]
+	pick := first
+	if second >= 0 && p.rng.next()&3 == 0 {
+		pick = second
 	}
 	e := &p.tables[pick][l.indices[pick]]
 	e.tag = l.tags[pick]

@@ -81,6 +81,9 @@ type CPIStack struct {
 // Add charges one cycle to bucket b.
 func (s *CPIStack) Add(b CPIBucket) { s.Buckets[b]++ }
 
+// AddN charges n cycles to bucket b (idle-skip fast-forward attribution).
+func (s *CPIStack) AddN(b CPIBucket, n uint64) { s.Buckets[b] += n }
+
 // Total returns the number of attributed cycles.
 func (s *CPIStack) Total() uint64 {
 	var t uint64

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/pipeline"
+)
+
+// TestIdleSkipEquivalence pins the idle-cycle fast-forward's correctness
+// contract: a run with skipping enabled must produce bit-identical
+// statistics — cycle count, every CPI-stack bucket, every stall counter,
+// per-branch stats — to a run simulating each cycle individually. The
+// tiny contended core and the stall-on-BQ-miss policy maximize the frozen
+// stretches the skip collapses.
+func TestIdleSkipEquivalence(t *testing.T) {
+	tiny := config.SandyBridge()
+	tiny.ROBSize = 32
+	tiny.IQSize = 8
+	tiny.LQSize = 8
+	tiny.SQSize = 6
+	tiny.NumPhysRegs = 64
+	tiny.VQSize = 16
+	tiny.NumCheckpoints = 1
+	tiny.Name = "tiny"
+
+	stall := config.SandyBridge()
+	stall.BQMissPolicy = config.StallFetch
+
+	cfgs := []struct {
+		name string
+		cfg  config.Core
+	}{
+		{"sandybridge", config.SandyBridge()},
+		{"stallpolicy", stall},
+		{"tiny", tiny},
+	}
+	for _, tc := range cfgs {
+		for _, name := range []string{"astar1like", "astar2like", "mcflike"} {
+			s, ok := ByName(name)
+			if !ok {
+				t.Fatalf("workload %s missing", name)
+			}
+			for _, v := range s.Variants {
+				if tc.name == "tiny" && v == CFDPlus {
+					continue // tiny VQ cannot hold the workloads' chunks
+				}
+				t.Run(tc.name+"/"+name+"/"+string(v), func(t *testing.T) {
+					t.Parallel()
+					p, m, err := s.Build(v, 1000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fast, err := pipeline.New(tc.cfg, p, m.Clone())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := fast.Run(0); err != nil {
+						t.Fatalf("skip run: %v", err)
+					}
+					slow, err := pipeline.New(tc.cfg, p, m.Clone(),
+						pipeline.WithoutIdleSkip())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := slow.Run(0); err != nil {
+						t.Fatalf("cycle-by-cycle run: %v", err)
+					}
+					if fast.Stats.Cycles != slow.Stats.Cycles {
+						t.Errorf("cycles diverge: skip=%d exact=%d",
+							fast.Stats.Cycles, slow.Stats.Cycles)
+					}
+					if !reflect.DeepEqual(fast.Stats, slow.Stats) {
+						t.Errorf("stats diverge with idle skipping\nskip:  %+v\nexact: %+v",
+							fast.Stats, slow.Stats)
+					}
+					if tot := fast.Stats.CPI.Total(); tot != fast.Stats.Cycles {
+						t.Errorf("CPI stack sums to %d, want %d cycles", tot, fast.Stats.Cycles)
+					}
+					if !fast.Mem().Equal(slow.Mem()) {
+						t.Error("memory diverges with idle skipping")
+					}
+				})
+			}
+		}
+	}
+}
