@@ -10,6 +10,7 @@
 //	cfdbench -jobs 8             # simulation parallelism (default GOMAXPROCS)
 //	cfdbench -verify             # cross-check every run against the emulator
 //	cfdbench -json out.json      # export every run as schema-versioned JSON
+//	cfdbench -store dir          # persist results on disk; resume sweeps
 //	cfdbench -speed out.json     # wall-clock throughput (MIPS) benchmark
 //	cfdbench -keep-going         # run every simulation even when some fault
 //	cfdbench -max-cycles N       # per-run watchdog cycle budget
@@ -18,6 +19,25 @@
 //	cfdbench -trace-out t.json   # Perfetto trace of the sweeps (virtual time)
 //	cfdbench -cpuprofile cpu.pb  # write a pprof CPU profile
 //	cfdbench -memprofile mem.pb  # write a pprof heap profile
+//
+// -store attaches a crash-safe on-disk result store: every completed
+// simulation (and every deterministic typed fault) is persisted as it
+// lands, and a rerun with the same directory re-simulates only the
+// missing or invalidated cells — so a 10,000-point sweep survives
+// crashes, SIGKILL, and reboots, across processes and CI runs. Corrupt
+// entries (torn writes, bit flips, stale schemas) are detected by
+// checksum, quarantined to <dir>/quarantine, and transparently
+// re-simulated.
+//
+// On SIGINT or SIGTERM a -store run drains cleanly: no new simulations
+// start, in-flight simulations run to completion and flush to the store,
+// and the process exits with code 3 (distinct from 1 = error and 2 = bad
+// usage). Kill-and-rerun therefore converges: the resumed run's tables
+// and JSON export are byte-identical to an uninterrupted run's (the one
+// exception is the diagnostic `store` section of the JSON document, which
+// reports this process's hit/miss split). A second signal kills the
+// process immediately, and even that is safe: the store's atomic write
+// protocol never exposes a torn entry.
 //
 // -metrics prints one stderr line per completed simulation — status, the
 // Runner's cumulative cache hit rate, and an ETA for the current sweep —
@@ -41,26 +61,46 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"cfd/internal/export"
 	"cfd/internal/harness"
 )
 
+// Exit codes. Interruption is distinct from failure so scripts and CI can
+// tell "drained cleanly, rerun -store to resume" from "something broke".
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the context; the sweeps drain (in-flight
+	// simulations complete and, with -store, persist) and the process
+	// exits with exitInterrupted. A second signal restores the default
+	// handler's immediate kill — safe even mid-write, because the store
+	// only ever publishes entries by atomic rename.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is main with its streams and exit code lifted out so tests can drive
-// the binary end to end and decode what lands on stdout.
-func run(argv []string, stdout, stderr io.Writer) int {
+// run is main with its context, streams, and exit code lifted out so tests
+// can drive the binary end to end and decode what lands on stdout.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cfdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -70,6 +110,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		verify     = fs.Bool("verify", false, "differentially verify every run against the functional emulator")
 		list       = fs.Bool("list", false, "list experiments")
 		jsonPath   = fs.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		storeDir   = fs.String("store", "", "persist results to this on-disk store; reruns resume, re-simulating only missing or corrupt cells")
 		speedPath  = fs.String("speed", "", "run the wall-clock throughput benchmark and write its JSON to this path ('-' = stdout)")
 		speedRuns  = fs.Int("speed-runs", 0, "median-of-K width for -speed (0 = default)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
@@ -83,11 +124,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace-out", "", "write a Chrome/Perfetto trace of the sweeps to this path ('-' = stdout)")
 	)
 	if err := fs.Parse(argv); err != nil {
-		return 2
+		return exitUsage
 	}
 	errorf := func(format string, args ...interface{}) int {
 		fmt.Fprintf(stderr, "cfdbench: "+format+"\n", args...)
-		return 1
+		return exitError
 	}
 
 	if *cpuProfile != "" {
@@ -142,17 +183,41 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	r.KeepGoing = *keepGoing
 	r.MaxCycles = *maxCycles
 	r.RunTimeout = *deadline
+	r.BaseCtx = ctx
+	if *storeDir != "" {
+		st, err := harness.OpenStore(*storeDir)
+		if err != nil {
+			return errorf("%v", err)
+		}
+		r.Store = st
+	}
 	if *metrics {
 		pp := &progressPrinter{r: r, w: stderr}
 		r.OnProgress = pp.report
 	}
 	var records []export.Experiment
 	failedExps := 0
+	interrupted := false
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			// Signal received between experiments: skip the rest. The
+			// completed (and, in-store, persisted) work is kept; a rerun
+			// with the same -store resumes from here.
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		before := r.Metrics()
 		fmt.Fprintf(tableOut, "### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, tableOut); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The drain already happened inside Sweep: every
+				// in-flight simulation completed and flushed before the
+				// cancellation error surfaced here.
+				interrupted = true
+				fmt.Fprintf(stderr, "cfdbench: %s: interrupted, drained in-flight runs\n", e.ID)
+				break
+			}
 			if !*keepGoing {
 				return errorf("%s: %v", e.ID, err)
 			}
@@ -179,6 +244,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "cfdbench: runner cache: %d lookups, %d simulated, %d hits (%.0f%% hit rate)\n",
 		tot.Lookups, tot.Simulations, tot.CacheHits, 100*hitRate)
+	if r.Store != nil {
+		sm := r.Store.Metrics()
+		entries := "?"
+		if n, err := r.Store.Len(); err == nil {
+			entries = fmt.Sprint(n)
+		}
+		fmt.Fprintf(stderr, "cfdbench: store %s: %d hits, %d misses, %d puts, %d quarantined, %d retries (%s entries on disk)\n",
+			r.Store.Dir(), sm.Hits, sm.Misses, sm.Puts, sm.Quarantines, sm.Retries, entries)
+	}
 
 	if *jsonPath != "" {
 		doc := export.Build("cfdbench", r, records)
@@ -208,6 +282,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return errorf("heap profile: %v", err)
 		}
 		f.Close()
+	}
+	if interrupted {
+		fmt.Fprintln(stderr, "cfdbench: interrupted; completed work persisted, rerun with the same -store to resume")
+		return exitInterrupted
 	}
 	if failedExps > 0 {
 		return errorf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
@@ -242,8 +320,14 @@ func (p *progressPrinter) report(ev harness.ProgressEvent) {
 	if ev.Err != nil {
 		status = "FAIL"
 	}
-	fmt.Fprintf(p.w, "  [%d/%d] %-48s %-4s  hit rate %3.0f%%  eta %s\n",
+	// With a store attached, say how many cache misses were restored from
+	// disk instead of simulated — the live view of a resumed sweep.
+	stored := ""
+	if p.r.Store != nil {
+		stored = fmt.Sprintf("  store hits %d", p.r.Store.Metrics().Hits)
+	}
+	fmt.Fprintf(p.w, "  [%d/%d] %-48s %-4s  hit rate %3.0f%%%s  eta %s\n",
 		ev.Completed, ev.Total,
 		fmt.Sprintf("%s/%s @ %s", ev.Spec.Workload, ev.Spec.Variant, ev.Spec.Config.Name),
-		status, 100*hitRate, eta)
+		status, 100*hitRate, stored, eta)
 }

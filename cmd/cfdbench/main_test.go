@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -17,7 +21,7 @@ import (
 // stderr.
 func TestJSONStdoutPurity(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-exp", "fig18", "-scale", "0.05", "-jobs", "2",
+	code := run(context.Background(), []string{"-exp", "fig18", "-scale", "0.05", "-jobs", "2",
 		"-metrics", "-keep-going", "-json", "-"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
@@ -49,7 +53,7 @@ func TestJSONStdoutPurity(t *testing.T) {
 func TestSpeedWorkDeterminism(t *testing.T) {
 	speed := func() *harness.SpeedDoc {
 		var stdout, stderr bytes.Buffer
-		code := run([]string{"-speed", "-", "-speed-runs", "1"}, &stdout, &stderr)
+		code := run(context.Background(), []string{"-speed", "-", "-speed-runs", "1"}, &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
 		}
@@ -81,5 +85,99 @@ func TestSpeedWorkDeterminism(t *testing.T) {
 	}
 	if a.Host.AggregateMIPS <= 0 {
 		t.Error("aggregate MIPS is non-positive")
+	}
+}
+
+// TestStoreResumeConverges pins the -store resume contract end to end: a
+// rerun over a store with missing and corrupted entries re-simulates only
+// those cells and produces byte-identical stdout tables and JSON (after
+// stripping the process-history-dependent store section, exactly as the CI
+// resume gate does with jq 'del(.store)').
+func TestStoreResumeConverges(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := dir + "/store"
+	args := func() []string {
+		return []string{"-exp", "fig18", "-scale", "0.05", "-jobs", "2",
+			"-store", storeDir, "-json", "-"}
+	}
+	invoke := func() (stdoutTables string, stripped []byte, doc *export.Document) {
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(), args(), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		doc, err := export.Decode(bytes.NewReader(stdout.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding stdout: %v", err)
+		}
+		if doc.Store == nil {
+			t.Fatal("document from a -store run has no store section")
+		}
+		doc.Store = nil
+		stripped, err = json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stderr.String(), stripped, doc
+	}
+
+	_, first, firstDoc := invoke()
+	if firstDoc.Experiments[0].Metrics.Simulations == 0 {
+		t.Fatal("first run simulated nothing")
+	}
+
+	// Sabotage the store: delete one entry, bit-flip another.
+	entries, err := filepath.Glob(storeDir + "/entries/*.json")
+	if err != nil || len(entries) < 3 {
+		t.Fatalf("store has %d entries (err %v); need at least 3", len(entries), err)
+	}
+	sort.Strings(entries)
+	if err := os.Remove(entries[0]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(entries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(entries[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, second, _ := invoke()
+	if !bytes.Equal(first, second) {
+		t.Errorf("resumed run's document (store section stripped) differs from the original\nfirst:  %.2000s\nsecond: %.2000s", first, second)
+	}
+
+	// The corrupt entry must have been quarantined, not trusted.
+	q, err := filepath.Glob(storeDir + "/quarantine/*.json")
+	if err != nil || len(q) == 0 {
+		t.Errorf("corrupt entry was not quarantined (err %v)", err)
+	}
+
+	// Third run: the store is healed, so nothing re-simulates.
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), args(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), " 0 misses,") {
+		t.Errorf("healed store still missed:\n%s", stderr.String())
+	}
+}
+
+// TestInterruptExitCode pins the drain contract's exit code: a cancelled
+// context (what SIGINT/SIGTERM produce via signal.NotifyContext) makes run
+// skip the sweeps and exit with the distinct resumable code 3.
+func TestInterruptExitCode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-exp", "fig18", "-scale", "0.05",
+		"-store", t.TempDir()}, &stdout, &stderr)
+	if code != exitInterrupted {
+		t.Fatalf("exit %d, want %d\nstderr:\n%s", code, exitInterrupted, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resume") {
+		t.Errorf("interrupted exit did not mention resuming:\n%s", stderr.String())
 	}
 }

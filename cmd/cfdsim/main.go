@@ -10,6 +10,7 @@
 //	       [-max-cycles N] [-deadline 30s]
 //	cfdsim -classify [-workload soplexlike]
 //	cfdsim -inject 200 [-seed 1] [-json report.json]
+//	cfdsim -inject-store 30 [-seed 1] [-json report.json]
 //
 // -classify prints the §II-B separability taxonomy for each kernel-shaped
 // workload: the hard branch's class and, per pass-pipeline transform, the
@@ -38,6 +39,12 @@
 // each of which must be caught by a typed fault, a watchdog, or the
 // golden-model differential check. The exit status is nonzero if any
 // injection goes undetected.
+//
+// -inject-store is the same contract for the persistent result store: N
+// corruptions of on-disk entries (torn writes, bit flips, truncation, stale
+// schema versions, stripped checksums), each of which must be quarantined —
+// never served — with the damaged sweep transparently re-simulating and
+// converging back to the golden results.
 //
 // Besides the headline counters it prints the CPI stack: every simulated
 // cycle attributed to exactly one bucket (retiring, CFD instruction
@@ -118,10 +125,11 @@ func main() {
 		verify   = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
 		jsonPath = flag.String("json", "", "write the run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
 
-		maxCycles = flag.Uint64("max-cycles", 0, "watchdog cycle budget for the run (0 = unlimited)")
-		deadline  = flag.Duration("deadline", 0, "watchdog wall-clock deadline for the run (0 = none)")
-		inject    = flag.Int("inject", 0, "run a fault-injection campaign of N corruptions instead of a simulation")
-		seed      = flag.Int64("seed", 1, "fault-injection campaign seed")
+		maxCycles   = flag.Uint64("max-cycles", 0, "watchdog cycle budget for the run (0 = unlimited)")
+		deadline    = flag.Duration("deadline", 0, "watchdog wall-clock deadline for the run (0 = none)")
+		inject      = flag.Int("inject", 0, "run a fault-injection campaign of N corruptions instead of a simulation")
+		injectStore = flag.Int("inject-store", 0, "run a result-store corruption campaign of N corruptions instead of a simulation")
+		seed        = flag.Int64("seed", 1, "fault-injection campaign seed")
 
 		sampleEvery = flag.Uint64("sample-every", 0, "sample IPC/stall/queue-occupancy telemetry every N cycles (0 = off)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of the run to this path ('-' = stdout)")
@@ -132,6 +140,10 @@ func main() {
 
 	if *inject > 0 {
 		runCampaign(*inject, *seed, *jsonPath)
+		return
+	}
+	if *injectStore > 0 {
+		runStoreCampaign(*injectStore, *seed, *jsonPath)
 		return
 	}
 
@@ -344,6 +356,33 @@ func runCampaign(n int, seed int64, jsonPath string) {
 				site, st.Injected, st.Detected, st.Missed)
 		}
 	}
+	finishCampaign(rep, n, jsonPath)
+}
+
+// runStoreCampaign executes the result-store corruption campaign: seeded
+// on-disk damage (torn writes, bit flips, truncation, stale schemas,
+// stripped checksums) to a populated store, each of which must be caught by
+// quarantine with the damaged sweep converging back to the golden results.
+// Exit status is nonzero when any corruption goes undetected.
+func runStoreCampaign(n int, seed int64, jsonPath string) {
+	rep, err := faultinject.RunStore(faultinject.StoreConfig{Seed: seed, Injections: n})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("store corruption  seed %d: %d injected, %d detected, %d missed\n",
+		rep.Seed, rep.Injected, rep.Detected, rep.Missed)
+	for _, site := range faultinject.AllStoreSites {
+		if st := rep.BySite[site]; st != nil {
+			fmt.Printf("  %-22s injected %4d  detected %4d  missed %4d\n",
+				site, st.Injected, st.Detected, st.Missed)
+		}
+	}
+	finishCampaign(rep, n, jsonPath)
+}
+
+// finishCampaign writes the optional cfd-faultinject JSON report and exits
+// nonzero when any injection was missed or the campaign under-ran.
+func finishCampaign(rep *faultinject.Report, n int, jsonPath string) {
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -21,6 +21,7 @@ import (
 	"cfd/internal/harness"
 	"cfd/internal/obs"
 	"cfd/internal/stats"
+	"cfd/internal/store"
 )
 
 // Schema identifies the document family; Version its revision.
@@ -32,6 +33,13 @@ import (
 //	    IPC/MPKI/stall/occupancy series) and `occupancy` (full-run
 //	    BQ/VQ/TQ histograms) sections, present when the producing spec
 //	    enabled sampling. Version-1 documents decode unchanged.
+//	2 (additive, no bump) — persistent-store diagnostics: documents from
+//	    a `-store` run gain a top-level `store` section (hit/miss/
+//	    quarantine/retry counters and the end-of-run entry count). With a
+//	    store attached, an experiment's `simulations` metric counts cache
+//	    misses materialized — simulated or restored — so the experiments
+//	    section stays byte-identical across interrupted-and-resumed
+//	    sweeps; the fresh-vs-restored split lives in `store` only.
 const (
 	Schema  = "cfd-results"
 	Version = 2
@@ -59,6 +67,25 @@ type Document struct {
 	// compatible schema change; consumers ignoring unknown fields see the
 	// same document as before.
 	Faults []FaultRecord `json:"faults,omitempty"`
+
+	// Store is the persistent result store's diagnostic section, present
+	// when the Runner ran with a -store directory attached. Unlike every
+	// other section it is deliberately process-history-dependent: the
+	// hit/miss split says how much of this invocation was restored versus
+	// simulated, which is exactly what differs between an uninterrupted
+	// sweep and a killed-and-resumed one. Consumers comparing documents
+	// for byte-identity across such runs strip this one section (the CI
+	// resume gate does `jq 'del(.store)'`); everything else converges.
+	Store *StoreSection `json:"store,omitempty"`
+}
+
+// StoreSection reports the persistent store's counters for this
+// invocation plus the store's end-of-run entry count (which, unlike the
+// hit/miss split, is deterministic for a converged sweep).
+type StoreSection struct {
+	Dir     string        `json:"dir"`
+	Entries int           `json:"entries"`
+	Metrics store.Metrics `json:"metrics"`
 }
 
 // FaultRecord is one failed run: the identifying spec fields, the typed
@@ -234,6 +261,13 @@ func Build(tool string, r *harness.Runner, exps []Experiment) *Document {
 	}
 	for _, fl := range r.Failures() {
 		doc.Faults = append(doc.Faults, FromFailure(fl))
+	}
+	if r.Store != nil {
+		sec := &StoreSection{Dir: r.Store.Dir(), Metrics: r.Store.Metrics()}
+		if n, err := r.Store.Len(); err == nil {
+			sec.Entries = n
+		}
+		doc.Store = sec
 	}
 	return doc
 }

@@ -1,0 +1,259 @@
+package faultinject
+
+// This file is the store-corruption campaign: the persistent result
+// store's analog of the architectural campaign. Instead of corrupting live
+// queue state, each trial corrupts one on-disk store entry — the way real
+// storage fails: torn writes, bit rot, truncation, stale schemas, stripped
+// checksums — then replays a full sweep over the damaged store and asserts
+// the store's integrity machinery catches it: the entry is quarantined
+// (never served), the cell transparently re-simulates, and every result
+// matches the golden sweep byte for byte. A trial where corrupt data is
+// served, or where the converged results drift, is reported as missed; the
+// campaign contract, like the architectural one, is zero misses.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"cfd/internal/config"
+	"cfd/internal/harness"
+	"cfd/internal/workload"
+)
+
+// Store-corruption injection sites.
+const (
+	SiteStoreTorn       Site = "store-torn"           // keep only a prefix of the entry (interrupted write)
+	SiteStoreTruncate   Site = "store-truncate"       // truncate the entry to zero bytes
+	SiteStoreBitFlip    Site = "store-bitflip"        // flip one random bit anywhere in the entry
+	SiteStoreStaleEnv   Site = "store-stale-envelope" // rewrite the envelope schema version
+	SiteStoreStalePay   Site = "store-stale-payload"  // rewrite the payload schema version
+	SiteStoreNoChecksum Site = "store-checksum-strip" // delete the sha256 field entirely
+)
+
+// AllStoreSites lists every store site in campaign round-robin order.
+var AllStoreSites = []Site{
+	SiteStoreTorn, SiteStoreTruncate, SiteStoreBitFlip,
+	SiteStoreStaleEnv, SiteStoreStalePay, SiteStoreNoChecksum,
+}
+
+// DetectQuarantine is the store campaign's detector: the corrupt entry was
+// quarantined, the cell re-simulated, and the sweep converged to the golden
+// results.
+const DetectQuarantine = "store-quarantine"
+
+// StoreConfig parameterizes a store-corruption campaign.
+type StoreConfig struct {
+	// Seed drives every random choice; identical seeds reproduce the
+	// campaign trial for trial.
+	Seed int64
+	// Injections is the number of corruptions to apply. Defaults to 30.
+	Injections int
+	// Dir is the campaign's working directory ("" = a private temp dir,
+	// removed afterwards). The store lives in Dir/store.
+	Dir string
+	// Scale is the victim Runner's workload scale (0 = 0.02, tiny).
+	Scale float64
+}
+
+// storeVictimSpecs is the sweep the campaign protects: a small matrix
+// covering every result shape the store round-trips (plain counters,
+// per-branch maps, the MSHR histogram, sampled telemetry sections).
+func storeVictimSpecs() []harness.RunSpec {
+	cfg := config.SandyBridge()
+	return []harness.RunSpec{
+		{Workload: "soplexlike", Variant: workload.Base, Config: cfg},
+		{Workload: "soplexlike", Variant: "cfd", Config: cfg},
+		{Workload: "astar1like", Variant: "cfd", Config: cfg, SampleMSHR: true},
+		{Workload: "mcflike", Variant: "cfd", Config: cfg, SampleEvery: 500},
+	}
+}
+
+func openStoreRunner(storeDir string, scale float64) (*harness.Runner, error) {
+	st, err := harness.OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	r := harness.NewRunner(scale)
+	r.Jobs = 1
+	r.Store = st
+	return r, nil
+}
+
+// RunStore executes a store-corruption campaign and returns its report
+// (same document family as the architectural campaign). Errors are
+// infrastructure failures — the golden sweep itself failing, or the
+// campaign directory being unusable; detection outcomes, including misses,
+// are reported in the Report.
+func RunStore(cfg StoreConfig) (*Report, error) {
+	n := cfg.Injections
+	if n <= 0 {
+		n = 30
+	}
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 0.02
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cfd-store-inject-*")
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: store campaign dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	storeDir := filepath.Join(dir, "store")
+
+	// Golden population: one clean sweep fills the store and fixes the
+	// expected results every trial must converge back to.
+	specs := storeVictimSpecs()
+	pop, err := openStoreRunner(storeDir, scale)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := pop.Sweep(context.Background(), specs)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: golden store sweep: %w", err)
+	}
+	entries, err := filepath.Glob(filepath.Join(storeDir, "entries", "*.json"))
+	if err != nil || len(entries) != len(specs) {
+		return nil, fmt.Errorf("faultinject: store has %d entries for %d specs (%v)", len(entries), len(specs), err)
+	}
+	sort.Strings(entries)
+
+	rep := &Report{
+		Schema:    ReportSchema,
+		Version:   ReportVersion,
+		Seed:      cfg.Seed,
+		Requested: n,
+		BySite:    make(map[Site]*SiteStats),
+	}
+	for attempt := 0; rep.Injected < n; attempt++ {
+		site := AllStoreSites[attempt%len(AllStoreSites)]
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*0x9E3779B9))
+		tr, err := runStoreTrial(site, rng, storeDir, entries, specs, golden, scale)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: %s trial %d: %w", site, attempt, err)
+		}
+		rep.Trials = append(rep.Trials, tr)
+		st := rep.BySite[site]
+		if st == nil {
+			st = &SiteStats{}
+			rep.BySite[site] = st
+		}
+		rep.Injected++
+		st.Injected++
+		if tr.Outcome == OutcomeDetected {
+			rep.Detected++
+			st.Detected++
+		} else {
+			rep.Missed++
+			st.Missed++
+		}
+	}
+	return rep, nil
+}
+
+// runStoreTrial corrupts one entry, replays the full sweep over the
+// damaged store with a fresh Runner (cold memo cache, new store handle —
+// the resumed-process model), and classifies the outcome. The sweep heals
+// the store (the quarantined cell re-persists on re-simulation), and the
+// trial restores the entry bytes besides, so trials are independent.
+func runStoreTrial(site Site, rng *rand.Rand, storeDir string, entries []string,
+	specs []harness.RunSpec, golden []*harness.Result, scale float64) (Trial, error) {
+	entry := entries[rng.Intn(len(entries))]
+	orig, err := os.ReadFile(entry)
+	if err != nil {
+		return Trial{}, err
+	}
+	corrupted, detail, offset, err := corruptStoreEntry(site, orig, rng)
+	if err != nil {
+		return Trial{}, err
+	}
+	if err := os.WriteFile(entry, corrupted, 0o644); err != nil {
+		return Trial{}, err
+	}
+	defer os.WriteFile(entry, orig, 0o644)
+
+	r, err := openStoreRunner(storeDir, scale)
+	if err != nil {
+		return Trial{}, err
+	}
+	res, err := r.Sweep(context.Background(), specs)
+	if err != nil {
+		// The sweep must never fail because of store damage — that would
+		// be an availability loss, a miss of its own kind.
+		return Trial{Site: site, Victim: filepath.Base(entry), Step: offset,
+			Detail:  fmt.Sprintf("%s; sweep failed: %v", detail, err),
+			Outcome: OutcomeMissed}, nil
+	}
+	converged := len(res) == len(golden)
+	for i := range golden {
+		if !converged || !reflect.DeepEqual(res[i], golden[i]) {
+			converged = false
+			break
+		}
+	}
+	m := r.Store.Metrics()
+	tr := Trial{Site: site, Victim: filepath.Base(entry), Step: offset, Detail: detail}
+	switch {
+	case m.Quarantines >= 1 && converged:
+		tr.Outcome = OutcomeDetected
+		tr.Detector = DetectQuarantine
+	case !converged:
+		tr.Outcome = OutcomeMissed
+		tr.Detail += " (results diverged from golden)"
+	default:
+		tr.Outcome = OutcomeMissed
+		tr.Detail += " (corrupt entry served without quarantine)"
+	}
+	return tr, nil
+}
+
+// corruptStoreEntry applies one site's damage to an entry's bytes and
+// returns the corrupted bytes, a human-readable description, and the byte
+// offset of the corruption (0 when the damage is structural).
+func corruptStoreEntry(site Site, orig []byte, rng *rand.Rand) (data []byte, detail string, offset int, err error) {
+	switch site {
+	case SiteStoreTorn:
+		cut := 1 + rng.Intn(len(orig)-1)
+		return orig[:cut], fmt.Sprintf("torn write: first %d of %d bytes", cut, len(orig)), cut, nil
+	case SiteStoreTruncate:
+		return nil, "truncated to zero bytes", 0, nil
+	case SiteStoreBitFlip:
+		i, bit := rng.Intn(len(orig)), rng.Intn(8)
+		data = append([]byte(nil), orig...)
+		data[i] ^= 1 << bit
+		return data, fmt.Sprintf("flipped bit %d of byte %d", bit, i), i, nil
+	case SiteStoreStaleEnv, SiteStoreStalePay, SiteStoreNoChecksum:
+		// Structural damage keeps the JSON well-formed: decode the
+		// envelope, rewrite one field, re-encode.
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(orig, &env); err != nil {
+			return nil, "", 0, fmt.Errorf("entry is not JSON: %w", err)
+		}
+		switch site {
+		case SiteStoreStaleEnv:
+			env["version"] = json.RawMessage("99")
+			detail = "envelope schema version rewritten to 99"
+		case SiteStoreStalePay:
+			env["payloadVersion"] = json.RawMessage("0")
+			detail = "payload schema version rewritten to 0"
+		case SiteStoreNoChecksum:
+			delete(env, "sha256")
+			detail = "sha256 checksum field stripped"
+		}
+		data, err = json.Marshal(env)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return data, detail, 0, nil
+	}
+	return nil, "", 0, fmt.Errorf("unknown store site %q", site)
+}

@@ -1,0 +1,59 @@
+package faultinject
+
+import "testing"
+
+// TestStoreCampaignDetectsEverything pins the store campaign contract:
+// every class of on-disk corruption — torn writes, truncation, bit flips,
+// stale envelope/payload schemas, stripped checksums — is detected by
+// quarantine, and every damaged sweep converges back to the golden
+// results. Two round-robin passes cover each site twice.
+func TestStoreCampaignDetectsEverything(t *testing.T) {
+	rep, err := RunStore(StoreConfig{Seed: 1, Injections: 2 * len(AllStoreSites), Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("RunStore: %v", err)
+	}
+	if rep.Injected != 2*len(AllStoreSites) {
+		t.Fatalf("injected %d, want %d", rep.Injected, 2*len(AllStoreSites))
+	}
+	if rep.Missed != 0 {
+		for _, tr := range rep.Trials {
+			if tr.Outcome == OutcomeMissed {
+				t.Errorf("missed: %s %s: %s", tr.Site, tr.Victim, tr.Detail)
+			}
+		}
+		t.Fatalf("%d of %d corruptions went undetected", rep.Missed, rep.Injected)
+	}
+	for _, site := range AllStoreSites {
+		st := rep.BySite[site]
+		if st == nil || st.Injected == 0 {
+			t.Errorf("site %s never injected", site)
+		}
+	}
+	for _, tr := range rep.Trials {
+		if tr.Outcome == OutcomeDetected && tr.Detector != DetectQuarantine {
+			t.Errorf("%s detected by %q, want %q", tr.Site, tr.Detector, DetectQuarantine)
+		}
+	}
+}
+
+// TestStoreCampaignDeterministic: identical seeds reproduce the campaign
+// trial for trial — the same entries picked, the same damage applied, the
+// same outcomes — which is what makes CI failures replayable locally.
+func TestStoreCampaignDeterministic(t *testing.T) {
+	runOnce := func() *Report {
+		rep, err := RunStore(StoreConfig{Seed: 7, Injections: len(AllStoreSites), Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("RunStore: %v", err)
+		}
+		return rep
+	}
+	a, b := runOnce(), runOnce()
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i] != b.Trials[i] {
+			t.Errorf("trial %d differs:\n a: %+v\n b: %+v", i, a.Trials[i], b.Trials[i])
+		}
+	}
+}

@@ -11,6 +11,9 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -28,6 +31,7 @@ import (
 	"cfd/internal/mem"
 	"cfd/internal/obs"
 	"cfd/internal/pipeline"
+	"cfd/internal/store"
 	"cfd/internal/workload"
 )
 
@@ -67,6 +71,22 @@ type Runner struct {
 	// Calls are serialized across workers; keep the callback fast, it
 	// runs on the sweep's critical path.
 	OnProgress func(ProgressEvent)
+	// Store, when non-nil, persists every completed result (and every
+	// memoized deterministic typed fault) across processes: a cache miss
+	// consults the store before simulating, so an interrupted sweep
+	// resumed with the same store re-runs only the missing cells. Open
+	// one with OpenStore; see persist.go for the key and quarantine
+	// rules. Set before the Runner is shared between goroutines.
+	Store *store.Store
+	// BaseCtx, when non-nil, is the context Prefetch sweeps under
+	// (experiments call Prefetch, which has no ctx parameter of its
+	// own). Cancelling it makes an in-progress sweep drain: no new
+	// simulations start, in-flight ones run to completion — and, with a
+	// Store attached, flush to disk — before Sweep returns the
+	// cancellation error. This is how cfdbench turns SIGINT/SIGTERM
+	// into a clean resumable exit. Set before the Runner is shared
+	// between goroutines.
+	BaseCtx context.Context
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -79,11 +99,15 @@ type Runner struct {
 // Metrics is a snapshot of the Runner's cache counters. All three are
 // deterministic for a given experiment sequence — a duplicate spec counts
 // as a cache hit whether it joined an in-flight simulation or found a
-// finished one — so metric deltas are safe to include in exported output
-// that must be byte-identical across -jobs settings.
+// finished one, and a cache miss counts as a simulation whether it was
+// computed fresh or restored from the persistent store — so metric deltas
+// are safe to include in exported output that must be byte-identical
+// across -jobs settings and across interrupted-then-resumed sweeps. The
+// fresh-vs-restored split (which is a property of the process's history,
+// not of the experiment) is reported separately by Store.Metrics.
 type Metrics struct {
 	Lookups     uint64 `json:"lookups"`     // Run/RunCtx calls
-	Simulations uint64 `json:"simulations"` // cache misses that simulated
+	Simulations uint64 `json:"simulations"` // cache misses materialized (simulated or store-restored)
 	CacheHits   uint64 `json:"cacheHits"`   // lookups served by the cache
 }
 
@@ -186,10 +210,30 @@ func EffIPC(base, r *Result) float64 {
 	return float64(base.Stats.Retired) / float64(r.Stats.Cycles)
 }
 
+// key returns the spec's deterministic cache/store identity. Every RunSpec
+// field participates (pinned by TestRunSpecKeyCoversEveryField): the
+// human-readable prefix names the run, and the trailing digest covers the
+// complete Config struct — so two specs differing in any configuration
+// detail, even one the Name does not encode, can never alias to one
+// cache or store entry.
 func (rs RunSpec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v|%d", rs.Workload, rs.Variant,
+	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v|%d|cfg:%s", rs.Workload, rs.Variant,
 		rs.Config.Name, rs.Config.BQMissPolicy, rs.PerfectAll, rs.PerfectCFD, rs.SampleMSHR,
-		rs.SampleEvery)
+		rs.SampleEvery, configDigest(rs.Config))
+}
+
+// configDigest hashes the full Core configuration. The struct is plain
+// exported data (ints, bools, strings, nested value structs), so its JSON
+// encoding is canonical and the digest is deterministic across processes.
+func configDigest(cfg config.Core) string {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		// Core is marshalable by construction; a failure here means a
+		// future field broke that, which must not silently alias specs.
+		panic("harness: config digest: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // Run executes (or recalls) one simulation.
@@ -222,7 +266,17 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 	r.cache[key] = e
 	r.mu.Unlock()
 	r.simulations.Add(1)
+	if r.Store != nil {
+		if res, lerr, ok := r.storeLoad(rs, key); ok {
+			e.res, e.err = res, lerr
+			close(e.done)
+			return e.res, e.err
+		}
+	}
 	e.res, e.err = r.simulate(rs)
+	if r.Store != nil {
+		r.storePersist(rs, key, e.res, e.err)
+	}
 	close(e.done)
 	return e.res, e.err
 }
@@ -335,11 +389,7 @@ func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", rs.Workload)
 	}
-	n := int64(float64(s.DefaultN) * r.Scale)
-	if n < 256 {
-		n = 256
-	}
-	p, m, err := s.Build(rs.Variant, n)
+	p, m, err := s.Build(rs.Variant, r.workloadN(s))
 	if err != nil {
 		return nil, err
 	}

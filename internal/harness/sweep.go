@@ -114,9 +114,15 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 
 // Prefetch simulates every spec across the worker pool so subsequent Run
 // calls are cache hits. Experiments call it with their full spec list up
-// front and then assemble rows serially in deterministic order.
+// front and then assemble rows serially in deterministic order. It sweeps
+// under r.BaseCtx when set, so a CLI-level signal context cancels the
+// experiment sweeps it drives.
 func (r *Runner) Prefetch(specs ...RunSpec) error {
-	_, err := r.Sweep(context.Background(), specs)
+	ctx := r.BaseCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, err := r.Sweep(ctx, specs)
 	return err
 }
 
