@@ -17,6 +17,10 @@
 //	cfdbench -deadline 5m        # per-run watchdog wall-clock deadline
 //	cfdbench -metrics            # stream per-simulation progress to stderr
 //	cfdbench -trace-out t.json   # Perfetto trace of the sweeps (virtual time)
+//	cfdbench -journal s.journal  # structured JSONL event journal of the sweeps
+//	cfdbench -journal-sorted     # canonicalize the journal on exit (jobs-independent)
+//	cfdbench -listen 127.0.0.1:9190  # live /metrics, /status, /debug/pprof server
+//	cfdbench -host-sample 1s     # sample host RSS/GC/goroutines on this interval
 //	cfdbench -cpuprofile cpu.pb  # write a pprof CPU profile
 //	cfdbench -memprofile mem.pb  # write a pprof heap profile
 //
@@ -54,6 +58,27 @@
 // ui.perfetto.dev; like the stdout tables, the trace is byte-identical for
 // any -jobs value.
 //
+// -journal records a crash-safe, schema-versioned JSONL event journal of
+// the campaign: sweep lifecycle, per-spec submit/start/done with result
+// counters and how each result materialized (simulated, cache hit, store
+// hit, persisted), store quarantines and retries, watchdog expiries, and
+// host-resource samples. Events flow through a buffered bus to a
+// dedicated writer, so the sweep never stalls on journal I/O, and every
+// durable event is flushed as written — a SIGKILLed run's journal replays
+// exactly the completions that reached the store (validate it with
+// `go run ./internal/obs/journal/validate -store <dir> <journal>`).
+// -journal-sorted rewrites the file on exit into its canonical sorted
+// replay, which is byte-identical across -jobs settings.
+//
+// -listen serves live observability on a loopback address while the run
+// is in flight: GET /metrics is the Prometheus text exposition of the
+// runner-cache, store, and host-sampler series; GET /status is a JSON
+// snapshot of sweep progress (with a simulated-only ETA), in-flight
+// specs, and the last journal events; /debug/pprof is the standard Go
+// profiler. -host-sample enables the host-resource sampler (RSS, GC
+// pause totals, goroutine count, allocation rate) on the given interval,
+// feeding both /metrics and the journal.
+//
 // Each experiment submits all of its simulations up front and fans them
 // across -jobs workers, then assembles its rows serially — so the output
 // is byte-identical for any -jobs value (-jobs 1 reproduces the historical
@@ -76,6 +101,9 @@ import (
 
 	"cfd/internal/export"
 	"cfd/internal/harness"
+	"cfd/internal/obs"
+	"cfd/internal/obs/journal"
+	"cfd/internal/serve"
 )
 
 // Exit codes. Interruption is distinct from failure so scripts and CI can
@@ -122,6 +150,11 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 
 		metrics  = fs.Bool("metrics", false, "stream per-simulation progress (status, cache hit rate, ETA) to stderr")
 		traceOut = fs.String("trace-out", "", "write a Chrome/Perfetto trace of the sweeps to this path ('-' = stdout)")
+
+		journalPath   = fs.String("journal", "", "write a structured JSONL event journal of the sweeps to this path")
+		journalSorted = fs.Bool("journal-sorted", false, "rewrite the journal on exit into its canonical sorted replay (byte-identical across -jobs)")
+		listenAddr    = fs.String("listen", "", "serve live /metrics, /status, and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		hostSample    = fs.Duration("host-sample", 0, "sample host resources (RSS, GC, goroutines) on this interval (0 = off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
@@ -195,6 +228,65 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		pp := &progressPrinter{r: r, w: stderr}
 		r.OnProgress = pp.report
 	}
+
+	// Observability wiring: the journal bus exists whenever anything wants
+	// the event stream — a -journal file sink, a -listen /status tracker,
+	// or a -host-sample feed. Everything hangs off the same bus so the
+	// file, the live server, and the samples all see one event order.
+	var jr *journal.Journal
+	if *journalPath != "" {
+		j, err := journal.Open(*journalPath, "cfdbench")
+		if err != nil {
+			return errorf("%v", err)
+		}
+		jr = j
+	} else if *listenAddr != "" || *hostSample > 0 {
+		jr = journal.New("cfdbench")
+	}
+	if jr != nil {
+		r.Journal = jr
+		defer jr.Close()
+		if r.Store != nil {
+			r.Store.OnQuarantine = func(entry, reason string) {
+				jr.Emit(journal.Event{Type: journal.StoreQuarantine, Entry: entry, Reason: reason})
+			}
+			r.Store.OnRetry = func() {
+				jr.TryEmit(journal.Event{Type: journal.StoreRetry})
+			}
+		}
+	}
+	var sampler *obs.HostSampler
+	var srv *serve.Server
+	if *listenAddr != "" || *hostSample > 0 {
+		reg := obs.NewRegistry()
+		r.RegisterMetrics(reg)
+		if r.Store != nil {
+			r.Store.RegisterMetrics(reg)
+		}
+		if *hostSample > 0 {
+			sampler = obs.StartHostSampler(reg, *hostSample, func(hs obs.HostStats) {
+				jr.TryEmit(journal.Event{Type: journal.HostSample, Host: &hs})
+			})
+			defer sampler.Stop()
+		}
+		if *listenAddr != "" {
+			tr := serve.NewTracker()
+			jr.Subscribe(tr.Observe)
+			srv = serve.New("cfdbench", reg, tr)
+			srv.Runner = r
+			srv.Journal = jr
+			addr, err := srv.Start(*listenAddr)
+			if err != nil {
+				return errorf("%v", err)
+			}
+			fmt.Fprintf(stderr, "cfdbench: serving /metrics, /status, /debug/pprof on http://%s\n", addr)
+			defer func() {
+				sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				srv.Shutdown(sctx) //nolint:errcheck // best-effort teardown
+			}()
+		}
+	}
 	var records []export.Experiment
 	failedExps := 0
 	interrupted := false
@@ -254,6 +346,22 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			r.Store.Dir(), sm.Hits, sm.Misses, sm.Puts, sm.Quarantines, sm.Retries, entries)
 	}
 
+	// Finalize the journal before the export document is built, so the
+	// document's journal section reports the final event count and the
+	// file on disk is complete (Close is idempotent; the defer is the
+	// early-error backstop). The sampler stops first — no samples after
+	// the trailer.
+	if jr != nil {
+		sampler.Stop()
+		if err := jr.Close(); err != nil {
+			fmt.Fprintf(stderr, "cfdbench: journal: %v\n", err)
+		}
+		if n := jr.Dropped(); n > 0 {
+			fmt.Fprintf(stderr, "cfdbench: journal: %d informational events dropped (bus full)\n", n)
+		}
+		fmt.Fprintf(stderr, "cfdbench: journal: %d events\n", jr.Events())
+	}
+
 	if *jsonPath != "" {
 		doc := export.Build("cfdbench", r, records)
 		var err error
@@ -268,6 +376,11 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	if *traceOut != "" {
 		if err := r.Trace().WriteFile(*traceOut); err != nil {
+			return errorf("%v", err)
+		}
+	}
+	if *journalSorted && *journalPath != "" {
+		if err := journal.RewriteSorted(*journalPath); err != nil {
 			return errorf("%v", err)
 		}
 	}
@@ -300,17 +413,22 @@ type progressPrinter struct {
 	r     *harness.Runner
 	w     io.Writer
 	start time.Time
+	// simDone counts this sweep's fresh simulations — the ETA estimator's
+	// denominator. Cache and store hits complete near-instantly, so
+	// averaging over them would collapse the estimate on a resumed sweep
+	// and make the ETA jump when the resumed prefix ends.
+	simDone int
 }
 
 func (p *progressPrinter) report(ev harness.ProgressEvent) {
 	if ev.Completed == 1 {
 		p.start = time.Now()
+		p.simDone = 0
 	}
-	eta := "-"
-	if ev.Completed > 0 && ev.Completed < ev.Total {
-		per := time.Since(p.start) / time.Duration(ev.Completed)
-		eta = (per * time.Duration(ev.Total-ev.Completed)).Round(100 * time.Millisecond).String()
+	if !ev.CacheHit && !ev.StoreHit {
+		p.simDone++
 	}
+	eta := etaString(time.Since(p.start), p.simDone, ev.Completed, ev.Total)
 	m := p.r.Metrics()
 	hitRate := 0.0
 	if m.Lookups > 0 {
@@ -330,4 +448,18 @@ func (p *progressPrinter) report(ev harness.ProgressEvent) {
 		ev.Completed, ev.Total,
 		fmt.Sprintf("%s/%s @ %s", ev.Spec.Workload, ev.Spec.Variant, ev.Spec.Config.Name),
 		status, 100*hitRate, stored, eta)
+}
+
+// etaString estimates time to sweep completion from fresh simulations
+// only: elapsed / simDone gives the per-simulation cost, times the specs
+// still outstanding. Monotone-safe on resumed sweeps — a run that opens
+// with thousands of near-instant store hits reports "-" until the first
+// real simulation lands, instead of a wildly optimistic figure that
+// balloons once fresh work starts.
+func etaString(elapsed time.Duration, simDone, completed, total int) string {
+	if simDone <= 0 || completed >= total {
+		return "-"
+	}
+	per := elapsed / time.Duration(simDone)
+	return (per * time.Duration(total-completed)).Round(100 * time.Millisecond).String()
 }

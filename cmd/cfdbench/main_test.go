@@ -10,9 +10,11 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"cfd/internal/export"
 	"cfd/internal/harness"
+	"cfd/internal/obs/journal"
 )
 
 // TestJSONStdoutPurity pins the `-json -` contract: whatever other flags
@@ -162,6 +164,124 @@ func TestStoreResumeConverges(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), " 0 misses,") {
 		t.Errorf("healed store still missed:\n%s", stderr.String())
+	}
+}
+
+// TestEtaString pins the monotone-safe ETA estimator: a sweep with no
+// fresh simulations yet (the store-hit prefix of a resumed run) and a
+// finished sweep both report "-"; otherwise the estimate is the
+// per-simulation cost times the outstanding specs.
+func TestEtaString(t *testing.T) {
+	cases := []struct {
+		elapsed                   time.Duration
+		simDone, completed, total int
+		want                      string
+	}{
+		{10 * time.Second, 0, 5, 10, "-"},   // store hits only: no basis yet
+		{10 * time.Second, 5, 10, 10, "-"},  // sweep complete
+		{10 * time.Second, 10, 12, 10, "-"}, // restarted-counter edge: never negative
+		{10 * time.Second, 5, 5, 10, "10s"}, // 2s/sim, 5 outstanding
+		// Resumed sweep: 8 store hits + 2 fresh sims in 4s. The simulated-only
+		// denominator gives 2s/sim × 90 left, not the 0.4s/cell blended rate.
+		{4 * time.Second, 2, 10, 100, "3m0s"},
+	}
+	for i, tc := range cases {
+		if got := etaString(tc.elapsed, tc.simDone, tc.completed, tc.total); got != tc.want {
+			t.Errorf("case %d: etaString = %q, want %q", i, got, tc.want)
+		}
+	}
+}
+
+// TestJournalEndToEnd drives -journal, -listen, -host-sample, and -json
+// together through run(): the journal on disk validates, every completion
+// it records as stored is actually in the store (the invariant the CI
+// resume gate checks after a SIGKILL), the live server announces itself,
+// and the exported document carries the journal section.
+func TestJournalEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "sweep.journal")
+	storeDir := filepath.Join(dir, "store")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-exp", "fig18", "-scale", "0.05", "-jobs", "2",
+		"-store", storeDir, "-journal", jpath,
+		"-listen", "127.0.0.1:0", "-host-sample", "20ms",
+		"-json", "-"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "serving /metrics") {
+		t.Errorf("-listen did not announce its address:\n%s", stderr.String())
+	}
+
+	events, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := journal.Validate(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Truncated {
+		t.Error("cleanly closed journal reads as truncated")
+	}
+	if sum.Sweeps == 0 || sum.Done == 0 || sum.OK != sum.Done {
+		t.Fatalf("journal summary = %+v", sum)
+	}
+	if sum.HostSamples == 0 {
+		t.Error("-host-sample journaled no host samples")
+	}
+
+	st, err := harness.OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := journal.CompletedKeys(events, true)
+	if len(keys) == 0 {
+		t.Fatal("journal records no stored completions")
+	}
+	for _, k := range keys {
+		if _, ok, err := st.Get(k); err != nil || !ok {
+			t.Fatalf("journaled stored key %q not in store (ok=%v err=%v)", k, ok, err)
+		}
+	}
+
+	doc, err := export.Decode(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Journal == nil {
+		t.Fatal("exported document has no journal section")
+	}
+	if doc.Journal.Path != jpath || doc.Journal.Schema != journal.Schema ||
+		doc.Journal.Version != journal.Version || doc.Journal.Events == 0 {
+		t.Fatalf("document journal section = %+v", doc.Journal)
+	}
+}
+
+// TestJournalSortedCanonical pins the -journal-sorted CLI contract: the
+// file is rewritten on exit into the canonical replay — no per-process
+// seq/ts fields — and is byte-identical across -jobs settings.
+func TestJournalSortedCanonical(t *testing.T) {
+	sorted := func(jobs string) []byte {
+		jpath := filepath.Join(t.TempDir(), "sweep.journal")
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(), []string{"-exp", "fig18", "-scale", "0.05",
+			"-jobs", jobs, "-journal", jpath, "-journal-sorted"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		data, err := os.ReadFile(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := sorted("1"), sorted("4")
+	if !bytes.Equal(a, b) {
+		t.Errorf("sorted journal differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte(`"seq"`)) || bytes.Contains(a, []byte(`"ts"`)) {
+		t.Error("sorted journal retains per-process seq/ts fields")
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 //	cfdsim -workload soplexlike -variant cfd [-n 50000] [-window 168]
 //	       [-depth 10] [-bqmiss spec|stall] [-dump-asm] [-branches]
-//	       [-pipeview N] [-verify] [-json out.json]
+//	       [-pipeview N] [-verify] [-json out.json] [-journal run.journal]
 //	       [-sample-every N] [-trace-out trace.json] [-trace-start N] [-trace-limit N]
 //	       [-max-cycles N] [-deadline 30s]
 //	cfdsim -classify [-workload soplexlike]
@@ -68,6 +68,7 @@ import (
 	"cfd/internal/faultinject"
 	"cfd/internal/harness"
 	"cfd/internal/obs"
+	"cfd/internal/obs/journal"
 	"cfd/internal/pipeline"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
@@ -122,8 +123,9 @@ func main() {
 		dumpAsm  = flag.Bool("dump-asm", false, "print the program disassembly and exit")
 		branches = flag.Bool("branches", false, "print per-static-branch statistics")
 		pipeview = flag.Int("pipeview", 0, "trace N instructions and print a pipeline diagram")
-		verify   = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
-		jsonPath = flag.String("json", "", "write the run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		verify      = flag.Bool("verify", false, "cross-check the retired state against the functional emulator")
+		jsonPath    = flag.String("json", "", "write the run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		journalPath = flag.String("journal", "", "write a structured JSONL event journal of the run to this path")
 
 		maxCycles   = flag.Uint64("max-cycles", 0, "watchdog cycle budget for the run (0 = unlimited)")
 		deadline    = flag.Duration("deadline", 0, "watchdog wall-clock deadline for the run (0 = none)")
@@ -230,6 +232,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "cfdsim: %v\n", werr)
 			}
 		}
+		if *journalPath != "" {
+			spec := harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant), Config: cfg}
+			if werr := writeRunJournal(*journalPath, spec, 0, 0, err); werr != nil {
+				fmt.Fprintf(os.Stderr, "cfdsim: %v\n", werr)
+			}
+		}
 		if f, ok := fault.As(err); ok {
 			fmt.Fprint(os.Stderr, f.Dump())
 			os.Exit(1)
@@ -309,6 +317,13 @@ func main() {
 	}
 	if *traceOut != "" {
 		if err := core.PerfettoTrace().WriteFile(*traceOut); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *journalPath != "" {
+		spec := harness.RunSpec{Workload: s.Name, Variant: workload.Variant(*variant),
+			Config: cfg, SampleEvery: *sampleEvery}
+		if err := writeRunJournal(*journalPath, spec, st.Cycles, st.Retired, nil); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -407,6 +422,37 @@ func finishCampaign(rep *faultinject.Report, n int, jsonPath string) {
 	if rep.Injected < n {
 		fatalf("only %d of %d requested injections applied", rep.Injected, n)
 	}
+}
+
+// writeRunJournal records a single-run journal: the header, one
+// spec_done carrying the run's outcome, and the trailer — the
+// cfdsim-sized slice of the cfd-journal schema, validatable with the
+// same `go run ./internal/obs/journal/validate` tool as a sweep journal.
+func writeRunJournal(path string, spec harness.RunSpec, cycles, retired uint64, runErr error) error {
+	j, err := journal.Open(path, "cfdsim")
+	if err != nil {
+		return err
+	}
+	ev := journal.Event{
+		Type: journal.SpecDone, Key: spec.Key(),
+		Workload: spec.Workload, Variant: string(spec.Variant), Config: spec.Config.Name,
+	}
+	if runErr == nil {
+		ev.Status = "ok"
+		ev.Cycles = cycles
+		ev.Retired = retired
+		if cycles > 0 {
+			ev.IPC = float64(retired) / float64(cycles)
+		}
+	} else {
+		ev.Status = "fault"
+		ev.Error = runErr.Error()
+		if f, ok := fault.As(runErr); ok {
+			ev.Fault = f.Kind.String()
+		}
+	}
+	j.Emit(ev)
+	return j.Close()
 }
 
 // isFlagSet reports whether the named flag was given on the command line.

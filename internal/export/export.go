@@ -20,6 +20,7 @@ import (
 	"cfd/internal/fault"
 	"cfd/internal/harness"
 	"cfd/internal/obs"
+	"cfd/internal/obs/journal"
 	"cfd/internal/stats"
 	"cfd/internal/store"
 )
@@ -40,6 +41,12 @@ import (
 //	    misses materialized — simulated or restored — so the experiments
 //	    section stays byte-identical across interrupted-and-resumed
 //	    sweeps; the fresh-vs-restored split lives in `store` only.
+//	2 (additive, no bump) — event-journal pointer: documents from a
+//	    `-journal` run gain a top-level `journal` section naming the
+//	    journal file, its schema/version, and the event count. Like
+//	    `store`, it is process-history-dependent (an interrupted run
+//	    journals fewer events than a clean one) and stripped by
+//	    byte-identity comparisons.
 const (
 	Schema  = "cfd-results"
 	Version = 2
@@ -77,6 +84,19 @@ type Document struct {
 	// for byte-identity across such runs strip this one section (the CI
 	// resume gate does `jq 'del(.store)'`); everything else converges.
 	Store *StoreSection `json:"store,omitempty"`
+
+	// Journal points at the structured event journal recorded alongside
+	// this invocation, present when the tool ran with -journal. Process-
+	// history-dependent like Store: byte-identity comparisons strip it.
+	Journal *JournalSection `json:"journal,omitempty"`
+}
+
+// JournalSection identifies the event journal a -journal run produced.
+type JournalSection struct {
+	Path    string `json:"path"`
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Events  uint64 `json:"events"`
 }
 
 // StoreSection reports the persistent store's counters for this
@@ -268,6 +288,14 @@ func Build(tool string, r *harness.Runner, exps []Experiment) *Document {
 			sec.Entries = n
 		}
 		doc.Store = sec
+	}
+	if r.Journal != nil && r.Journal.Path() != "" {
+		doc.Journal = &JournalSection{
+			Path:    r.Journal.Path(),
+			Schema:  journal.Schema,
+			Version: journal.Version,
+			Events:  r.Journal.Events(),
+		}
 	}
 	return doc
 }

@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -13,6 +14,7 @@ import (
 
 	"cfd/internal/config"
 	"cfd/internal/harness"
+	"cfd/internal/obs/journal"
 	"cfd/internal/workload"
 )
 
@@ -149,5 +151,58 @@ func TestFromResultShape(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"cpiStack":{"retiring":`) {
 		t.Errorf("CPI stack not serialized in bucket order: %s", data)
+	}
+}
+
+// TestJournalSection pins the -journal pointer section: present with the
+// journal's identity when a file-backed journal is attached, absent for
+// bus-only journals and journal-less runners.
+func TestJournalSection(t *testing.T) {
+	r := harness.NewRunner(exportScale)
+	path := filepath.Join(t.TempDir(), "t.journal")
+	j, err := journal.Open(path, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Journal = j
+	spec := harness.RunSpec{Workload: "bzip2like", Variant: workload.Base, Config: config.SandyBridge()}
+	if _, err := r.Sweep(context.Background(), []harness.RunSpec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := Build("cfdbench", r, nil)
+	if doc.Journal == nil {
+		t.Fatal("document has no journal section")
+	}
+	if doc.Journal.Path != path || doc.Journal.Schema != journal.Schema || doc.Journal.Version != journal.Version {
+		t.Fatalf("journal section = %+v", doc.Journal)
+	}
+	if doc.Journal.Events != j.Events() || doc.Journal.Events == 0 {
+		t.Fatalf("journal section events = %d, journal wrote %d", doc.Journal.Events, j.Events())
+	}
+
+	// Round trip: the section survives encode/decode.
+	got, err := Decode(bytes.NewReader(encode(t, doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Journal, doc.Journal) {
+		t.Fatalf("journal section round trip: %+v vs %+v", got.Journal, doc.Journal)
+	}
+
+	// Bus-only journal: no file, no section.
+	r2 := harness.NewRunner(exportScale)
+	j2 := journal.New("test")
+	r2.Journal = j2
+	if doc2 := Build("cfdbench", r2, nil); doc2.Journal != nil {
+		t.Fatalf("bus-only journal produced a section: %+v", doc2.Journal)
+	}
+	j2.Close()
+
+	// No journal at all.
+	if doc3 := Build("cfdbench", harness.NewRunner(exportScale), nil); doc3.Journal != nil {
+		t.Fatal("journal-less runner produced a journal section")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"cfd/internal/fault"
 	"cfd/internal/mem"
 	"cfd/internal/obs"
+	"cfd/internal/obs/journal"
 	"cfd/internal/pipeline"
 	"cfd/internal/store"
 	"cfd/internal/workload"
@@ -87,9 +88,19 @@ type Runner struct {
 	// into a clean resumable exit. Set before the Runner is shared
 	// between goroutines.
 	BaseCtx context.Context
+	// Journal, when non-nil, receives the structured sweep event stream
+	// (cfd-journal JSONL): sweep start/finish, per-spec
+	// submit/start/done with result counters, and watchdog expiries.
+	// Events go through the journal's buffered bus, so the sweep never
+	// waits on journal I/O; a nil Journal costs one nil test and zero
+	// allocations on the per-spec path. Set before the Runner is shared
+	// between goroutines.
+	Journal *journal.Journal
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+
+	sweepSeq atomic.Uint64
 
 	lookups     atomic.Uint64
 	simulations atomic.Uint64
@@ -222,6 +233,10 @@ func (rs RunSpec) key() string {
 		rs.SampleEvery, configDigest(rs.Config))
 }
 
+// Key is the exported form of the spec's deterministic identity, for
+// tools that journal runs outside a Runner (e.g. cfdsim -journal).
+func (rs RunSpec) Key() string { return rs.key() }
+
 // configDigest hashes the full Core configuration. The struct is plain
 // exported data (ints, bools, strings, nested value structs), so its JSON
 // encoding is canonical and the digest is deterministic across processes.
@@ -245,6 +260,15 @@ func (r *Runner) Run(rs RunSpec) (*Result, error) {
 // goroutine's in-flight simulation of the same spec returns early when ctx
 // is done (the simulation itself runs to completion and stays memoized).
 func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
+	res, err, _ := r.runCtx(ctx, rs, 0)
+	return res, err
+}
+
+// runCtx is the memoizing core shared by RunCtx and Sweep. sweep is the
+// journal scope's sequence number (0 outside a journaled sweep); the
+// returned runInfo says how the result materialized, feeding the journal
+// and ProgressEvent.
+func (r *Runner) runCtx(ctx context.Context, rs RunSpec, sweep uint64) (*Result, error, runInfo) {
 	key := rs.key()
 	r.lookups.Add(1)
 	r.mu.Lock()
@@ -257,9 +281,9 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 		r.cacheHits.Add(1)
 		select {
 		case <-e.done:
-			return e.res, e.err
+			return e.res, e.err, runInfo{cacheHit: true}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, ctx.Err(), runInfo{cacheHit: true}
 		}
 	}
 	e := &cacheEntry{done: make(chan struct{}), spec: rs}
@@ -270,15 +294,22 @@ func (r *Runner) RunCtx(ctx context.Context, rs RunSpec) (*Result, error) {
 		if res, lerr, ok := r.storeLoad(rs, key); ok {
 			e.res, e.err = res, lerr
 			close(e.done)
-			return e.res, e.err
+			return e.res, e.err, runInfo{storeHit: true}
 		}
 	}
+	if j := r.Journal; j != nil && sweep != 0 {
+		j.Emit(journal.Event{
+			Type: journal.SpecStart, Sweep: sweep, Key: key,
+			Workload: rs.Workload, Variant: string(rs.Variant), Config: rs.Config.Name,
+		})
+	}
+	var info runInfo
 	e.res, e.err = r.simulate(rs)
 	if r.Store != nil {
-		r.storePersist(rs, key, e.res, e.err)
+		info.stored = r.storePersist(rs, key, e.res, e.err)
 	}
 	close(e.done)
-	return e.res, e.err
+	return e.res, e.err, info
 }
 
 // Results returns every successfully completed memoized result, sorted by

@@ -12,27 +12,35 @@ import (
 
 // ProgressEvent reports one completed spec during a Sweep. Completed/Total
 // count within that sweep; Err is non-nil for failed specs (with KeepGoing,
-// the sweep continues past them).
+// the sweep continues past them). CacheHit/StoreHit say how the result
+// materialized — served from the in-memory cache, restored from the
+// persistent store, or (neither set) simulated fresh — so listeners can
+// base rate estimates on real simulations only.
 type ProgressEvent struct {
 	Spec      RunSpec
 	Err       error
 	Completed int
 	Total     int
+	CacheHit  bool
+	StoreHit  bool
 }
 
 // progressReporter builds the per-sweep completion callback: a serialized
 // counter feeding OnProgress, or a no-op when no listener is registered.
-func (r *Runner) progressReporter(total int) func(RunSpec, error) {
+func (r *Runner) progressReporter(total int) func(RunSpec, error, runInfo) {
 	if r.OnProgress == nil {
-		return func(RunSpec, error) {}
+		return func(RunSpec, error, runInfo) {}
 	}
 	var mu sync.Mutex
 	completed := 0
-	return func(rs RunSpec, err error) {
+	return func(rs RunSpec, err error, info runInfo) {
 		mu.Lock()
 		defer mu.Unlock()
 		completed++
-		r.OnProgress(ProgressEvent{Spec: rs, Err: err, Completed: completed, Total: total})
+		r.OnProgress(ProgressEvent{
+			Spec: rs, Err: err, Completed: completed, Total: total,
+			CacheHit: info.cacheHit, StoreHit: info.storeHit,
+		})
 	}
 }
 

@@ -156,6 +156,68 @@ func TestSweepProgress(t *testing.T) {
 	}
 }
 
+// TestSweepProgressCompleteness pins OnProgress under parallelism:
+// every submitted spec is observed exactly once (duplicates included),
+// the serialized Completed counter covers 1..N exactly, and the
+// cache-hit flags agree with the Runner's own metrics.
+func TestSweepProgressCompleteness(t *testing.T) {
+	base := obsSpecs()
+	specs := append(append([]RunSpec{}, base...), base[0], base[1]) // dups → cache hits
+	for _, jobs := range []int{1, 8} {
+		r := NewRunner(0.02)
+		r.Jobs = jobs
+		var mu sync.Mutex
+		var events []ProgressEvent
+		r.OnProgress = func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+		if _, err := r.Sweep(context.Background(), specs); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(specs) {
+			t.Fatalf("jobs=%d: %d progress events for %d specs", jobs, len(events), len(specs))
+		}
+		perKey := map[string]int{}
+		cacheHits := 0
+		seen := map[int]bool{}
+		for _, ev := range events {
+			perKey[ev.Spec.key()]++
+			seen[ev.Completed] = true
+			if ev.Total != len(specs) {
+				t.Errorf("jobs=%d: event total %d, want %d", jobs, ev.Total, len(specs))
+			}
+			if ev.CacheHit {
+				cacheHits++
+			}
+			if ev.StoreHit {
+				t.Errorf("jobs=%d: store hit reported without a store", jobs)
+			}
+		}
+		for i := 1; i <= len(specs); i++ {
+			if !seen[i] {
+				t.Errorf("jobs=%d: no event with Completed=%d", jobs, i)
+			}
+		}
+		for _, rs := range specs {
+			perKey[rs.key()]--
+		}
+		for k, n := range perKey {
+			if n != 0 {
+				t.Errorf("jobs=%d: spec %s observed %+d times vs submissions", jobs, k, n)
+			}
+		}
+		m := r.Metrics()
+		if uint64(cacheHits) != m.CacheHits {
+			t.Errorf("jobs=%d: %d cache-hit progress events, runner counted %d", jobs, cacheHits, m.CacheHits)
+		}
+		if m.Simulations != uint64(len(base)) {
+			t.Errorf("jobs=%d: %d simulations, want %d", jobs, m.Simulations, len(base))
+		}
+	}
+}
+
 func TestRegisterMetrics(t *testing.T) {
 	r := NewRunner(0.02)
 	reg := obs.NewRegistry()

@@ -140,17 +140,21 @@ func (r *Runner) storeLoad(rs RunSpec, key string) (*Result, error, bool) {
 	}
 }
 
-// storePersist writes a completed run through to the store. Successful
-// results always persist; failures persist only when they are
-// deterministic typed faults (watchdog expiries are budget-dependent and
-// untyped errors carry environment-dependent causes — both re-simulate on
-// resume instead). Persistence is best-effort: a Put that still fails
-// after the store's bounded retries is counted in the store metrics and
-// the sweep carries on with the in-memory result.
-func (r *Runner) storePersist(rs RunSpec, key string, res *Result, runErr error) {
+// storePersist writes a completed run through to the store and reports
+// whether the entry actually landed on disk. Successful results always
+// persist; failures persist only when they are deterministic typed
+// faults (watchdog expiries are budget-dependent and untyped errors
+// carry environment-dependent causes — both re-simulate on resume
+// instead). Persistence is best-effort: a Put that still fails after
+// the store's bounded retries is counted in the store metrics and the
+// sweep carries on with the in-memory result. The return value feeds
+// the journal's stored flag, which is why storePersist runs before the
+// spec_done event is emitted: a journal line claiming stored=true is
+// guaranteed to have its store entry durably renamed into place.
+func (r *Runner) storePersist(rs RunSpec, key string, res *Result, runErr error) bool {
 	skey, ok := r.storeKey(rs, key)
 	if !ok {
-		return
+		return false
 	}
 	sr := storedRun{Spec: rs}
 	switch {
@@ -159,7 +163,7 @@ func (r *Runner) storePersist(rs RunSpec, key string, res *Result, runErr error)
 	default:
 		f, typed := fault.As(runErr)
 		if !typed || f.Kind == fault.WatchdogExpiry {
-			return
+			return false
 		}
 		msg := f.Msg
 		if msg == "" && f.Err != nil {
@@ -174,7 +178,7 @@ func (r *Runner) storePersist(rs RunSpec, key string, res *Result, runErr error)
 	}
 	payload, err := json.Marshal(&sr)
 	if err != nil {
-		return
+		return false
 	}
-	r.Store.Put(skey, payload) //nolint:errcheck // counted in store metrics; degrade gracefully
+	return r.Store.Put(skey, payload) == nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation pins are skipped under it (instrumentation itself
+// allocates).
+const raceEnabled = false

@@ -27,14 +27,24 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 	if jobs > len(specs) {
 		jobs = len(specs)
 	}
+	sw := r.beginSweep(len(specs), jobs)
+	defer sw.finish()
 	report := r.progressReporter(len(specs))
+	// runOne is the shared per-spec step: journal the submission, run,
+	// journal the terminal outcome, report progress.
+	runOne := func(ctx context.Context, rs RunSpec) (*Result, error) {
+		sw.submit(rs)
+		res, err, info := r.runCtx(ctx, rs, sw.id())
+		sw.done(rs, res, err, info)
+		report(rs, err, info)
+		return res, err
+	}
 	if jobs <= 1 {
 		for i, rs := range specs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := r.RunCtx(ctx, rs)
-			report(rs, err)
+			res, err := runOne(ctx, rs)
 			if err != nil {
 				if r.KeepGoing && ctx.Err() == nil {
 					continue
@@ -64,8 +74,7 @@ func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) 
 					errs[i] = ctx.Err()
 					continue
 				}
-				res, err := r.RunCtx(ctx, specs[i])
-				report(specs[i], err)
+				res, err := runOne(ctx, specs[i])
 				if err != nil {
 					errs[i] = err
 					if !r.KeepGoing {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHostSampler pins the sampler contract: an immediate first sample,
+// the host.* probe series registered and readable, notify called off the
+// sampler goroutine, and an idempotent Stop.
+func TestHostSampler(t *testing.T) {
+	reg := NewRegistry()
+	notified := make(chan HostStats, 64)
+	h := StartHostSampler(reg, 10*time.Millisecond, func(s HostStats) {
+		select {
+		case notified <- s:
+		default:
+		}
+	})
+	if h.Samples() == 0 {
+		t.Fatal("no immediate first sample")
+	}
+	deadline := time.After(2 * time.Second)
+	for h.Samples() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler never ticked")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	h.Stop()
+	h.Stop() // idempotent
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"host.rss_bytes", "host.heap_alloc_bytes", "host.gc_pause_total_ns",
+		"host.gc_cycles", "host.goroutines", "host.alloc_bytes_per_sec", "host.samples",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("probe %s not registered", name)
+		}
+	}
+	if snap["host.heap_alloc_bytes"] <= 0 {
+		t.Error("heap_alloc_bytes probe reads 0")
+	}
+	if snap["host.goroutines"] <= 0 {
+		t.Error("goroutines probe reads 0")
+	}
+	if snap["host.samples"] < 3 {
+		t.Errorf("samples probe reads %v", snap["host.samples"])
+	}
+	select {
+	case s := <-notified:
+		if s.HeapAllocBytes == 0 || s.Goroutines == 0 {
+			t.Errorf("notify got empty sample: %+v", s)
+		}
+	default:
+		t.Error("notify never called")
+	}
+
+	// Nil sampler: every method is a safe no-op.
+	var nilH *HostSampler
+	nilH.Stop()
+	if nilH.Samples() != 0 {
+		t.Error("nil sampler has samples")
+	}
+}
+
+// TestReadHostStats pins the snapshot itself (RSS is best-effort, the
+// rest must be live).
+func TestReadHostStats(t *testing.T) {
+	s := ReadHostStats()
+	if s.HeapAllocBytes == 0 || s.TotalAllocBytes == 0 || s.Goroutines == 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+}

@@ -257,9 +257,10 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Names returns every registered instrument and probe name, sorted.
-func (r *Registry) Names() []string {
-	snap := r.Snapshot()
+// SortedNames returns the snapshot's names in sorted order — the
+// deterministic iteration helper every exposition path uses, so no
+// output format ever depends on Go map order.
+func (r *Registry) SortedNames(snap map[string]float64) []string {
 	names := make([]string, 0, len(snap))
 	for name := range snap {
 		names = append(names, name)
@@ -268,17 +269,24 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Each calls fn for every snapshot entry in sorted name order.
+func (r *Registry) Each(fn func(name string, value float64)) {
+	snap := r.Snapshot()
+	for _, name := range r.SortedNames(snap) {
+		fn(name, snap[name])
+	}
+}
+
+// Names returns every registered instrument and probe name, sorted.
+func (r *Registry) Names() []string {
+	return r.SortedNames(r.Snapshot())
+}
+
 // Render formats a snapshot as sorted "name value" lines (debug output).
 func (r *Registry) Render() string {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	out := ""
-	for _, name := range names {
-		out += fmt.Sprintf("%-32s %g\n", name, snap[name])
-	}
+	r.Each(func(name string, value float64) {
+		out += fmt.Sprintf("%-32s %g\n", name, value)
+	})
 	return out
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promName maps an instrument name to a legal Prometheus metric name:
+// the "cfd_" namespace prefix, with every character outside
+// [a-zA-Z0-9_:] replaced by '_' (so "harness.cache_hits" serves as
+// "cfd_harness_cache_hits").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("cfd_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promValue formats a sample value the way Prometheus expects ('g'
+// shortest-form floats; integral values render without an exponent).
+func promValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): every counter as a counter, every gauge and
+// probe as a gauge, and every histogram as a native cumulative-bucket
+// histogram with _sum and _count. Families are emitted in sorted name
+// order (via the same deterministic iteration Snapshot consumers use),
+// so two scrapes of identical state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type family struct {
+		name  string // prometheus name
+		kind  string // "counter", "gauge", "histogram"
+		value float64
+		hist  *Hist
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.probes)+len(r.hists))
+	for name, c := range r.counters {
+		fams = append(fams, family{name: promName(name), kind: "counter", value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		fams = append(fams, family{name: promName(name), kind: "gauge", value: g.Value()})
+	}
+	for name, p := range r.probes {
+		fams = append(fams, family{name: promName(name), kind: "gauge", value: p.Value()})
+	}
+	for name, h := range r.hists {
+		fams = append(fams, family{name: promName(name), kind: "histogram", hist: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.kind != "histogram" {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, promValue(f.value)); err != nil {
+				return err
+			}
+			continue
+		}
+		counts := f.hist.Counts()
+		var cum, sum uint64
+		for i, c := range counts {
+			cum += c
+			sum += uint64(i) * c
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", f.name, i, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", f.name, sum, f.name, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: sorted families, the
+// cfd_ namespace with sanitized names, type annotations, and cumulative
+// histogram buckets with _sum/_count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta.count").Add(3)
+	r.Gauge("alpha.gauge").Set(1.5)
+	r.RegisterProbe("mid.probe", ProbeFunc(func() float64 { return 7 }))
+	h := r.Hist("occ", 2)
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		"# TYPE cfd_alpha_gauge gauge",
+		"cfd_alpha_gauge 1.5",
+		"# TYPE cfd_mid_probe gauge",
+		"cfd_mid_probe 7",
+		"# TYPE cfd_occ histogram",
+		`cfd_occ_bucket{le="0"} 1`,
+		`cfd_occ_bucket{le="1"} 3`,
+		`cfd_occ_bucket{le="2"} 4`,
+		`cfd_occ_bucket{le="+Inf"} 4`,
+		"cfd_occ_sum 4",
+		"cfd_occ_count 4",
+		"# TYPE cfd_zeta_count counter",
+		"cfd_zeta_count 3",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic pins scrape-to-scrape byte identity.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"c.b", "a.z", "m.q", "z.a", "b.b"} {
+		r.Counter(n).Add(1)
+	}
+	var a, b strings.Builder
+	r.WritePrometheus(&a)
+	r.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of identical state differ")
+	}
+}
+
+// TestWritePrometheusNil pins that a nil registry serves an empty body.
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"harness.cache_hits": "cfd_harness_cache_hits",
+		"host.rss_bytes":     "cfd_host_rss_bytes",
+		"weird name-1":       "cfd_weird_name_1",
+		"ns:sub":             "cfd_ns:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistryEachSorted pins the deterministic-iteration satellite:
+// Each and Names visit snapshot entries in sorted order, histograms
+// summarized as .mean/.max.
+func TestRegistryEachSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Gauge("a").Set(1)
+	r.Hist("c", 4).Observe(2)
+	var names []string
+	r.Each(func(name string, _ float64) { names = append(names, name) })
+	want := []string{"a", "b", "c.max", "c.mean"}
+	if len(names) != len(want) {
+		t.Fatalf("Each visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Each visited %v, want %v", names, want)
+		}
+	}
+	got := r.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cfd/internal/obs"
+	"cfd/internal/obs/journal"
+)
+
+// TestTrackerFolds pins the Tracker's event folding: sweep lifecycle,
+// in-flight bookkeeping, hit/simulated classification, and the
+// last-events ring.
+func TestTrackerFolds(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(journal.Event{Type: journal.SweepStart, Sweep: 1, Total: 3, Jobs: 2})
+	tr.Observe(journal.Event{Type: journal.SpecSubmit, Sweep: 1, Key: "a", Workload: "w", Variant: "base", Config: "cfg"})
+	tr.Observe(journal.Event{Type: journal.SpecSubmit, Sweep: 1, Key: "b", Workload: "w", Variant: "cfd", Config: "cfg"})
+
+	st := tr.Snapshot()
+	if st.Sweeps != 1 || st.Sweep == nil || !st.Sweep.Running {
+		t.Fatalf("mid-sweep snapshot: %+v", st)
+	}
+	if len(st.InFlight) != 2 {
+		t.Fatalf("inFlight = %v", st.InFlight)
+	}
+	if st.Sweep.ETASec != -1 {
+		t.Fatalf("ETA with no simulated completions = %v, want -1", st.Sweep.ETASec)
+	}
+
+	tr.Observe(journal.Event{Type: journal.SpecDone, Sweep: 1, Key: "a", Workload: "w", Variant: "base", Config: "cfg", Status: "ok"})
+	tr.Observe(journal.Event{Type: journal.SpecDone, Sweep: 1, Key: "b", Workload: "w", Variant: "cfd", Config: "cfg", Status: "fault", Error: "boom", StoreHit: true})
+	st = tr.Snapshot()
+	if len(st.InFlight) != 0 {
+		t.Fatalf("inFlight after done = %v", st.InFlight)
+	}
+	s := st.Sweep
+	if s.Completed != 2 || s.Failed != 1 || s.Simulated != 1 || s.StoreHits != 1 {
+		t.Fatalf("sweep counts: %+v", s)
+	}
+	if st.SpecsDone != 2 || st.Faults != 1 {
+		t.Fatalf("totals: %+v", st)
+	}
+	if s.ETASec < 0 {
+		t.Fatalf("ETA with a simulated completion = %v, want >= 0", s.ETASec)
+	}
+
+	tr.Observe(journal.Event{Type: journal.SweepFinish, Sweep: 1, Total: 3, Completed: 2})
+	st = tr.Snapshot()
+	if st.Sweep.Running {
+		t.Fatal("sweep still running after finish")
+	}
+	if st.Sweep.ETASec != -1 {
+		t.Fatalf("ETA after finish = %v, want -1", st.Sweep.ETASec)
+	}
+	if len(st.LastEvents) != 6 {
+		t.Fatalf("lastEvents = %d, want 6", len(st.LastEvents))
+	}
+}
+
+// TestTrackerRing pins the last-events ring bound.
+func TestTrackerRing(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < lastEventsDepth*2; i++ {
+		tr.Observe(journal.Event{Type: journal.StoreRetry, Seq: uint64(i + 1)})
+	}
+	st := tr.Snapshot()
+	if len(st.LastEvents) != lastEventsDepth {
+		t.Fatalf("ring holds %d, want %d", len(st.LastEvents), lastEventsDepth)
+	}
+	if st.LastEvents[lastEventsDepth-1].Seq != lastEventsDepth*2 {
+		t.Fatal("ring did not keep the newest events")
+	}
+}
+
+// TestEta pins the simulated-only estimator's edge cases.
+func TestEta(t *testing.T) {
+	cases := []struct {
+		s    SweepStatus
+		want float64
+	}{
+		{SweepStatus{Running: true, Total: 10, Completed: 5, Simulated: 0, ElapsedSec: 10}, -1},
+		{SweepStatus{Running: false, Total: 10, Completed: 5, Simulated: 5, ElapsedSec: 10}, -1},
+		{SweepStatus{Running: true, Total: 10, Completed: 10, Simulated: 10, ElapsedSec: 10}, -1},
+		// 10s / 5 simulated = 2s per sim, 5 outstanding → 10s.
+		{SweepStatus{Running: true, Total: 10, Completed: 5, Simulated: 5, ElapsedSec: 10}, 10},
+		// Resumed sweep: 8 store hits + 2 simulated in 4s → 2s/sim, 90 left → 180s.
+		{SweepStatus{Running: true, Total: 100, Completed: 10, Simulated: 2, StoreHits: 8, ElapsedSec: 4}, 180},
+	}
+	for i, tc := range cases {
+		if got := eta(tc.s); got != tc.want {
+			t.Errorf("case %d: eta = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+// TestServerEndpoints drives the HTTP surface end to end on a loopback
+// listener: /metrics serves the Prometheus exposition, /status decodes
+// as JSON with the tracker's state folded in, /debug/pprof answers, and
+// the index routes.
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("harness.lookups").Add(42)
+	jr := journal.New("test")
+	tr := NewTracker()
+	jr.Subscribe(tr.Observe)
+
+	srv := New("test", reg, tr)
+	srv.Journal = jr
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	base := "http://" + addr.String()
+
+	jr.Emit(journal.Event{Type: journal.SweepStart, Sweep: 1, Total: 2, Jobs: 1})
+	jr.Emit(journal.Event{Type: journal.SpecDone, Sweep: 1, Key: "k", Workload: "w", Variant: "base", Config: "c", Status: "ok"})
+	// The tracker observes off the journal's writer goroutine; wait for
+	// the events to land before scraping.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := tr.Snapshot(); st.SpecsDone == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tracker never observed the journal events")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body := get(t, base+"/metrics")
+	if !strings.Contains(body, "# TYPE cfd_harness_lookups counter") || !strings.Contains(body, "cfd_harness_lookups 42") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	var st Status
+	if err := json.Unmarshal([]byte(get(t, base+"/status")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tool != "test" || st.SpecsDone != 1 || st.Sweep == nil || st.Sweep.Total != 2 {
+		t.Fatalf("/status = %+v", st)
+	}
+	if st.Journal == nil || st.Journal.Events == 0 {
+		t.Fatalf("/status journal section = %+v", st.Journal)
+	}
+	if len(st.LastEvents) == 0 {
+		t.Fatal("/status has no lastEvents")
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if body := get(t, base+"/"); !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %q", body)
+	}
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSpecLabel pins the in-flight label format the /status consumers see.
+func TestSpecLabel(t *testing.T) {
+	ev := journal.Event{Workload: "w", Variant: "cfd", Config: "paper"}
+	if got, want := specLabel(ev), "w/cfd @ paper"; got != want {
+		t.Fatalf("specLabel = %q, want %q", got, want)
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cfd/internal/obs"
 )
 
 // Envelope schema identification. Version bumps on any incompatible change
@@ -107,6 +109,19 @@ type Store struct {
 	// campaigns exercising the transient-I/O retry path; nil in
 	// production. Set it before the store is shared between goroutines.
 	InjectOpError func(op, path string) error
+
+	// OnQuarantine, when non-nil, is called after an entry is set aside,
+	// with the entry's base file name and the rejection reason. It fires
+	// for both internally detected envelope damage and caller-reported
+	// payload damage (Quarantine), so an event journal sees every
+	// invalidation exactly once. Set before sharing the store; it runs
+	// under the quarantine lock and must not call back into the store.
+	OnQuarantine func(entry, reason string)
+
+	// OnRetry, when non-nil, is called once per transient-I/O retry
+	// attempt, after the Retries counter increments. Same discipline as
+	// OnQuarantine: set before sharing, keep it cheap and non-reentrant.
+	OnRetry func()
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -224,6 +239,9 @@ func (s *Store) withRetry(f func() error) error {
 		}
 		time.Sleep(d)
 		s.retries.Add(1)
+		if h := s.OnRetry; h != nil {
+			h()
+		}
 		err = f()
 	}
 	return err
@@ -415,6 +433,22 @@ func (s *Store) quarantine(path, reason string) {
 			os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
 		}
 		s.quarantines.Add(1)
+		if h := s.OnQuarantine; h != nil {
+			h(base, reason)
+		}
 		return
 	}
+}
+
+// RegisterMetrics registers the store's counters as pull-based probes on
+// reg, so a live /metrics scrape sees the same numbers Metrics reports.
+// No-op on a nil registry.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterProbe("store.hits", obs.ProbeFunc(func() float64 { return float64(s.hits.Load()) }))
+	reg.RegisterProbe("store.misses", obs.ProbeFunc(func() float64 { return float64(s.misses.Load()) }))
+	reg.RegisterProbe("store.puts", obs.ProbeFunc(func() float64 { return float64(s.puts.Load()) }))
+	reg.RegisterProbe("store.quarantines", obs.ProbeFunc(func() float64 { return float64(s.quarantines.Load()) }))
+	reg.RegisterProbe("store.retries", obs.ProbeFunc(func() float64 { return float64(s.retries.Load()) }))
+	reg.RegisterProbe("store.put_failures", obs.ProbeFunc(func() float64 { return float64(s.putFailures.Load()) }))
+	reg.RegisterProbe("store.get_failures", obs.ProbeFunc(func() float64 { return float64(s.getFailures.Load()) }))
 }

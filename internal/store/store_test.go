@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"cfd/internal/obs"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -294,5 +295,94 @@ func TestConcurrentWritersConverge(t *testing.T) {
 	}
 	if n, _ := a.Len(); n != 4 {
 		t.Fatalf("Len = %d, want 4", n)
+	}
+}
+
+// TestHooksAndMetrics pins the observer surface added for the event
+// journal and /metrics: OnQuarantine fires once per quarantined entry
+// with its base name and reason, OnRetry fires once per retry attempt,
+// and RegisterMetrics exposes the counters as probes.
+func TestHooksAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, WithBackoff([]time.Duration{time.Millisecond, time.Millisecond}))
+	var mu sync.Mutex
+	type q struct{ entry, reason string }
+	var quarantines []q
+	retries := 0
+	s.OnQuarantine = func(entry, reason string) {
+		mu.Lock()
+		quarantines = append(quarantines, q{entry, reason})
+		mu.Unlock()
+	}
+	s.OnRetry = func() {
+		mu.Lock()
+		retries++
+		mu.Unlock()
+	}
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	if err := s.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry on disk: the next Get must quarantine and fire
+	// the hook with the entry's base name.
+	path := s.entryPath("k")
+	if err := os.WriteFile(path, []byte(`{"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("corrupt Get: ok=%v err=%v", ok, err)
+	}
+	if len(quarantines) != 1 {
+		t.Fatalf("OnQuarantine fired %d times, want 1", len(quarantines))
+	}
+	if quarantines[0].entry != filepath.Base(path) || quarantines[0].reason == "" {
+		t.Fatalf("OnQuarantine got %+v", quarantines[0])
+	}
+
+	// Caller-reported damage (the harness's payload-level Quarantine)
+	// goes through the same hook.
+	if err := s.Put("k2", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine("k2", "payload mismatch")
+	if len(quarantines) != 2 || quarantines[1].reason != "payload mismatch" {
+		t.Fatalf("quarantines after caller report: %+v", quarantines)
+	}
+
+	// Transient write errors fire OnRetry per attempt.
+	fails := 2
+	s.InjectOpError = func(op, path string) error {
+		if op == "sync" && fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	}
+	if err := s.Put("k3", []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if retries != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", retries)
+	}
+
+	snap := reg.Snapshot()
+	m := s.Metrics()
+	for name, want := range map[string]uint64{
+		"store.hits":         m.Hits,
+		"store.misses":       m.Misses,
+		"store.puts":         m.Puts,
+		"store.quarantines":  m.Quarantines,
+		"store.retries":      m.Retries,
+		"store.put_failures": m.PutFailures,
+		"store.get_failures": m.GetFailures,
+	} {
+		if got := snap[name]; got != float64(want) {
+			t.Errorf("probe %s = %v, want %d", name, got, want)
+		}
+	}
+	if snap["store.quarantines"] != 2 || snap["store.retries"] != 2 {
+		t.Errorf("probe snapshot: %v", snap)
 	}
 }
