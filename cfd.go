@@ -203,5 +203,5 @@ func RunExperimentWith(id string, w io.Writer, scale float64, jobs int, verify b
 	r := harness.NewRunner(scale)
 	r.Jobs = jobs
 	r.Verify = verify
-	return e.Run(r, w)
+	return r.RunExperiment(e, w)
 }

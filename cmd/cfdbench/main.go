@@ -5,7 +5,9 @@
 //	cfdbench -exp all            # every experiment
 //	cfdbench -exp fig18          # one experiment
 //	cfdbench -exp fig18,fig24    # several
-//	cfdbench -list               # list experiment IDs
+//	cfdbench -list               # list experiment IDs (with manifest spec counts)
+//	cfdbench -manifest m.json    # sweep a declarative experiment manifest
+//	cfdbench -manifest m.json -manifest-expand   # dry-run: print the spec keys
 //	cfdbench -scale 0.2          # reduce workload sizes (1.0 = full)
 //	cfdbench -jobs 8             # simulation parallelism (default GOMAXPROCS)
 //	cfdbench -verify             # cross-check every run against the emulator
@@ -83,6 +85,16 @@
 // across -jobs workers, then assembles its rows serially — so the output
 // is byte-identical for any -jobs value (-jobs 1 reproduces the historical
 // strictly serial behavior).
+//
+// -manifest sweeps a declarative experiment manifest (schema cfd-manifest,
+// see DESIGN.md): a JSON file declaring workload selectors, variant
+// expressions, and config-mutation sets whose cross-product expands
+// deterministically into run specs. The sweep composes with every other
+// flag — -store resume, -jobs, -journal (the sweep_start event carries the
+// manifest's content digest), -json (the document gains a `manifest`
+// provenance section). -manifest-expand is the dry run: it prints the
+// expanded spec count and the sorted spec keys without simulating, and its
+// output is byte-identical for any -jobs value.
 package main
 
 import (
@@ -101,6 +113,7 @@ import (
 
 	"cfd/internal/export"
 	"cfd/internal/harness"
+	"cfd/internal/manifest"
 	"cfd/internal/obs"
 	"cfd/internal/obs/journal"
 	"cfd/internal/serve"
@@ -132,17 +145,19 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cfdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp        = fs.String("exp", "all", "experiment IDs (comma separated) or 'all'")
-		scale      = fs.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
-		jobs       = fs.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
-		verify     = fs.Bool("verify", false, "differentially verify every run against the functional emulator")
-		list       = fs.Bool("list", false, "list experiments")
-		jsonPath   = fs.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
-		storeDir   = fs.String("store", "", "persist results to this on-disk store; reruns resume, re-simulating only missing or corrupt cells")
-		speedPath  = fs.String("speed", "", "run the wall-clock throughput benchmark and write its JSON to this path ('-' = stdout)")
-		speedRuns  = fs.Int("speed-runs", 0, "median-of-K width for -speed (0 = default)")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this path on exit")
+		exp          = fs.String("exp", "all", "experiment IDs (comma separated) or 'all'")
+		manifestPath = fs.String("manifest", "", "sweep a declarative experiment manifest (JSON file) instead of -exp")
+		manifestDry  = fs.Bool("manifest-expand", false, "with -manifest: print the expanded spec count and sorted keys, then exit")
+		scale        = fs.Float64("scale", 0.25, "workload size scale factor (1.0 = full evaluation)")
+		jobs         = fs.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		verify       = fs.Bool("verify", false, "differentially verify every run against the functional emulator")
+		list         = fs.Bool("list", false, "list experiments")
+		jsonPath     = fs.String("json", "", "write every run's counters, CPI stack, and energy as JSON to this path ('-' = stdout)")
+		storeDir     = fs.String("store", "", "persist results to this on-disk store; reruns resume, re-simulating only missing or corrupt cells")
+		speedPath    = fs.String("speed", "", "run the wall-clock throughput benchmark and write its JSON to this path ('-' = stdout)")
+		speedRuns    = fs.Int("speed-runs", 0, "median-of-K width for -speed (0 = default)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this path on exit")
 
 		keepGoing = fs.Bool("keep-going", false, "complete every simulation even when some fail; failures land in the JSON faults section")
 		maxCycles = fs.Uint64("max-cycles", 0, "per-run watchdog cycle budget (0 = unlimited)")
@@ -179,10 +194,46 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
+		// The specs column is each experiment's embedded-manifest expansion
+		// size; "-" marks experiments with no spec sweep (static tables,
+		// classification studies, custom-program ablations).
 		for _, e := range harness.AllExperiments() {
-			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
+			count := "-"
+			if e.Manifest != nil {
+				specs, err := e.Specs()
+				if err != nil {
+					return errorf("%s: manifest: %v", e.ID, err)
+				}
+				count = fmt.Sprint(len(specs))
+			}
+			fmt.Fprintf(stdout, "%-16s %5s  %s\n", e.ID, count, e.Title)
 		}
 		return 0
+	}
+
+	// -manifest replaces -exp: load, validate, and expand the declarative
+	// sweep up front so a bad manifest fails before any simulation starts.
+	var mf *manifest.Manifest
+	var mfSpecs []harness.RunSpec
+	if *manifestPath != "" {
+		m, err := manifest.Load(*manifestPath)
+		if err != nil {
+			return errorf("%v", err)
+		}
+		specs, err := harness.SpecsFromManifest(m)
+		if err != nil {
+			return errorf("%s: %v", *manifestPath, err)
+		}
+		if *manifestDry {
+			fmt.Fprintf(stdout, "manifest %s (%s): %d specs\n", manifestName(m, *manifestPath), m.Digest(), len(specs))
+			for _, sp := range specs {
+				fmt.Fprintln(stdout, sp.Key())
+			}
+			return 0
+		}
+		mf, mfSpecs = m, specs
+	} else if *manifestDry {
+		return errorf("-manifest-expand requires -manifest")
 	}
 
 	if *speedPath != "" {
@@ -190,15 +241,17 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 
 	var exps []*harness.Experiment
-	if *exp == "all" {
-		exps = harness.AllExperiments()
-	} else {
-		for _, id := range strings.Split(*exp, ",") {
-			e, ok := harness.ByID(strings.TrimSpace(id))
-			if !ok {
-				return errorf("unknown experiment %q (use -list)", id)
+	if mf == nil {
+		if *exp == "all" {
+			exps = harness.AllExperiments()
+		} else {
+			for _, id := range strings.Split(*exp, ",") {
+				e, ok := harness.ByID(strings.TrimSpace(id))
+				if !ok {
+					return errorf("unknown experiment %q (use -list)", id)
+				}
+				exps = append(exps, e)
 			}
-			exps = append(exps, e)
 		}
 	}
 
@@ -290,6 +343,33 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	var records []export.Experiment
 	failedExps := 0
 	interrupted := false
+	if mf != nil {
+		name := manifestName(mf, *manifestPath)
+		r.ManifestDigest = mf.Digest()
+		start := time.Now()
+		fmt.Fprintf(tableOut, "### manifest %s — %d specs\n\n", name, len(mfSpecs))
+		if err := r.Prefetch(mfSpecs...); err != nil {
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				interrupted = true
+				fmt.Fprintf(stderr, "cfdbench: manifest %s: interrupted, drained in-flight runs\n", name)
+			case !*keepGoing:
+				return errorf("manifest %s: %v", name, err)
+			default:
+				failedExps++
+				fmt.Fprintf(stderr, "cfdbench: manifest %s: %v (continuing)\n", name, err)
+			}
+		}
+		m := r.Metrics()
+		if !interrupted {
+			fmt.Fprintf(tableOut, "manifest %s: swept %d specs (%d failed)\n\n",
+				name, len(mfSpecs), len(r.Failures()))
+		}
+		records = append(records, export.Experiment{
+			ID: "manifest:" + name, Title: "manifest sweep " + name, Metrics: m})
+		fmt.Fprintf(stderr, "(manifest %s in %.1fs: %d lookups, %d simulated, %d cache hits)\n",
+			name, time.Since(start).Seconds(), m.Lookups, m.Simulations, m.CacheHits)
+	}
 	for _, e := range exps {
 		if ctx.Err() != nil {
 			// Signal received between experiments: skip the rest. The
@@ -301,7 +381,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		start := time.Now()
 		before := r.Metrics()
 		fmt.Fprintf(tableOut, "### %s — %s\n\n", e.ID, e.Title)
-		if err := e.Run(r, tableOut); err != nil {
+		if err := r.RunExperiment(e, tableOut); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// The drain already happened inside Sweep: every
 				// in-flight simulation completed and flushed before the
@@ -364,6 +444,16 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 
 	if *jsonPath != "" {
 		doc := export.Build("cfdbench", r, records)
+		if mf != nil {
+			doc.Manifest = &export.ManifestSection{
+				Path:    *manifestPath,
+				Name:    mf.Name,
+				Schema:  mf.Schema,
+				Version: mf.Version,
+				Digest:  mf.Digest(),
+				Specs:   len(mfSpecs),
+			}
+		}
 		var err error
 		if *jsonPath == "-" {
 			err = export.Encode(stdout, doc)
@@ -404,6 +494,15 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return errorf("%d experiment(s) had failing runs (recorded in the JSON faults section)", failedExps)
 	}
 	return 0
+}
+
+// manifestName labels a manifest run: the declared name, or the file path
+// for anonymous manifests.
+func manifestName(m *manifest.Manifest, path string) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return path
 }
 
 // progressPrinter streams one stderr line per completed simulation. The

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -299,5 +300,151 @@ func TestInterruptExitCode(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "resume") {
 		t.Errorf("interrupted exit did not mention resuming:\n%s", stderr.String())
+	}
+}
+
+// TestListShowsSpecCounts: -list prints each experiment's embedded-
+// manifest expansion size, with "-" for experiments that sweep no specs.
+func TestListShowsSpecCounts(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	lines := map[string]string{}
+	for _, ln := range strings.Split(stdout.String(), "\n") {
+		f := strings.Fields(ln)
+		if len(f) >= 2 {
+			lines[f[0]] = f[1]
+		}
+	}
+	e, _ := harness.ByID("fig18")
+	specs, err := e.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(len(specs)); lines["fig18"] != want {
+		t.Errorf("fig18 spec count column = %q, want %q", lines["fig18"], want)
+	}
+	if lines["table5"] != "-" {
+		t.Errorf("table5 spec count column = %q, want \"-\"", lines["table5"])
+	}
+}
+
+// TestManifestExpandDeterministicAcrossJobs: the -manifest-expand dry run
+// is byte-identical whatever -jobs is set to — the sorted spec-key list is
+// a pure function of the manifest.
+func TestManifestExpandDeterministicAcrossJobs(t *testing.T) {
+	expand := func(jobs string) string {
+		var stdout, stderr bytes.Buffer
+		code := run(context.Background(), []string{"-manifest", "../../examples/manifest/sweep.json",
+			"-manifest-expand", "-jobs", jobs}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	a, b := expand("1"), expand("8")
+	if a != b {
+		t.Fatal("-manifest-expand output differs across -jobs settings")
+	}
+	if !strings.Contains(a, "96 specs") {
+		t.Errorf("expand header: %q", strings.SplitN(a, "\n", 2)[0])
+	}
+	if got := strings.Count(a, "\n"); got != 97 { // header + 96 keys
+		t.Errorf("expand printed %d lines, want 97", got)
+	}
+}
+
+// TestManifestEndToEnd: a -manifest sweep persists to the store, exports a
+// deterministic manifest provenance section, stamps the journal's
+// sweep_start with the manifest digest, and a rerun with the same store
+// converges without re-simulating.
+func TestManifestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mfPath := filepath.Join(dir, "m.json")
+	doc := `{
+	  "schema": "cfd-manifest", "version": 1, "name": "e2e",
+	  "sweeps": [{
+	    "workloads": {"names": ["mcflike", "soplexlike"]},
+	    "variants": [{"variant": "base"}, {"variant": "cfd"}],
+	    "configs": [{"set": {"FrontEndDepth": 12}}]
+	  }]
+	}`
+	if err := os.WriteFile(mfPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "store")
+	jPath := filepath.Join(dir, "run.journal")
+
+	sweep := func(journalPath string) *export.Document {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-manifest", mfPath, "-scale", "0.05", "-store", storeDir, "-json", "-"}
+		if journalPath != "" {
+			args = append(args, "-journal", journalPath)
+		}
+		if code := run(context.Background(), args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		d, err := export.Decode(bytes.NewReader(stdout.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return d
+	}
+
+	first := sweep(jPath)
+	if first.Manifest == nil {
+		t.Fatal("document has no manifest section")
+	}
+	if first.Manifest.Name != "e2e" || first.Manifest.Specs != 4 ||
+		first.Manifest.Schema != "cfd-manifest" || first.Manifest.Digest == "" {
+		t.Fatalf("manifest section: %+v", first.Manifest)
+	}
+	if len(first.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(first.Runs))
+	}
+
+	// The journal's sweep_start carries the manifest digest.
+	jdata, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jdata), `"manifest":"`+first.Manifest.Digest+`"`) {
+		t.Error("journal sweep_start does not carry the manifest digest")
+	}
+
+	// Rerun: everything restores from the store; the deterministic sections
+	// (runs + manifest) are identical.
+	second := sweep("")
+	if !reflect.DeepEqual(first.Runs, second.Runs) {
+		t.Error("resumed run's runs section diverges")
+	}
+	if !reflect.DeepEqual(first.Manifest, second.Manifest) {
+		t.Error("manifest sections diverge across runs")
+	}
+	if second.Store == nil || second.Store.Metrics.Hits != 4 || second.Store.Metrics.Misses != 0 {
+		t.Errorf("rerun store metrics: %+v", second.Store)
+	}
+}
+
+// TestManifestExpandRequiresManifest: -manifest-expand without -manifest
+// is a usage error, and a bad manifest file fails before simulating.
+func TestManifestBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-manifest-expand"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-manifest-expand alone: exit %d, want 1", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-manifest", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad manifest: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "schema") {
+		t.Errorf("bad-manifest error not reported: %s", stderr.String())
 	}
 }

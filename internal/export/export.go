@@ -47,6 +47,12 @@ import (
 //	    `store`, it is process-history-dependent (an interrupted run
 //	    journals fewer events than a clean one) and stripped by
 //	    byte-identity comparisons.
+//	2 (additive, no bump) — manifest provenance: documents from a
+//	    `-manifest` run gain a top-level `manifest` section naming the
+//	    manifest file, its declared name and schema/version, its content
+//	    digest, and the expanded spec count. Unlike `store` and
+//	    `journal` it is fully deterministic (a pure function of the
+//	    manifest file), so byte-identity comparisons keep it.
 const (
 	Schema  = "cfd-results"
 	Version = 2
@@ -89,6 +95,23 @@ type Document struct {
 	// this invocation, present when the tool ran with -journal. Process-
 	// history-dependent like Store: byte-identity comparisons strip it.
 	Journal *JournalSection `json:"journal,omitempty"`
+
+	// Manifest records the provenance of a -manifest run: which declared
+	// sweep produced the document's runs. Deterministic, unlike Store and
+	// Journal — two runs of the same manifest carry identical sections.
+	Manifest *ManifestSection `json:"manifest,omitempty"`
+}
+
+// ManifestSection identifies the experiment manifest a -manifest run
+// expanded, pinning the document to the exact declaration (by content
+// digest) that enumerated its specs.
+type ManifestSection struct {
+	Path    string `json:"path"`
+	Name    string `json:"name,omitempty"`
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Digest  string `json:"digest"`
+	Specs   int    `json:"specs"`
 }
 
 // JournalSection identifies the event journal a -journal run produced.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cfd/internal/config"
+	"cfd/internal/manifest"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
 )
@@ -69,26 +70,34 @@ func ckptPolicies() []struct {
 	return out
 }
 
+// predCfg derives the predictor-study configuration for one kind.
+func predCfg(k config.PredictorKind) config.Core {
+	cfg := config.SandyBridge()
+	cfg.Predictor = k
+	cfg.Name = "pred-" + k.String()
+	return cfg
+}
+
+// ablationConfigs flattens the checkpoint sweep and policy study into one
+// manifest config list.
+func ablationConfigs() []config.Core {
+	out := ckptSweepConfigs()
+	for _, pol := range ckptPolicies() {
+		out = append(out, pol.cfg)
+	}
+	return out
+}
+
 func init() {
 	registerExp(&Experiment{
 		ID:    "ablation-ckpt",
 		Title: "§VI baseline selection: checkpoint count and recovery policy",
+		Manifest: expManifest("ablation-ckpt", manifest.Sweep{
+			Workloads: byNames(ablationSet...),
+			Variants:  variants("base"),
+			Configs:   mutationsFor(ablationConfigs()...),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, cfg := range ckptSweepConfigs() {
-				for _, name := range ablationSet {
-					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: cfg})
-				}
-			}
-			for _, pol := range ckptPolicies() {
-				for _, name := range ablationSet {
-					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: pol.cfg})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
-
 			t := stats.NewTable("Checkpoint count sweep (OoO reclaim, confidence-guided): harmonic-mean baseline IPC",
 				"checkpoints", "hmean IPC")
 			for _, cfg := range ckptSweepConfigs() {
@@ -126,23 +135,16 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "ablation-pred",
 		Title: "§VI baseline selection: branch predictor class",
+		Manifest: expManifest("ablation-pred", manifest.Sweep{
+			Workloads: byNames(ablationSet...),
+			Variants:  variants("base"),
+			Configs: mutationsFor(
+				predCfg(config.PredBimodal),
+				predCfg(config.PredGshare),
+				predCfg(config.PredISLTAGE)),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
 			kinds := []config.PredictorKind{config.PredBimodal, config.PredGshare, config.PredISLTAGE}
-			predCfg := func(k config.PredictorKind) config.Core {
-				cfg := config.SandyBridge()
-				cfg.Predictor = k
-				cfg.Name = "pred-" + k.String()
-				return cfg
-			}
-			var specs []RunSpec
-			for _, name := range ablationSet {
-				for _, k := range kinds {
-					specs = append(specs, RunSpec{Workload: name, Variant: workload.Base, Config: predCfg(k)})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Baseline MPKI and IPC per predictor",
 				"workload", "bimodal MPKI", "gshare MPKI", "isl-tage MPKI", "isl-tage IPC")
 			for _, name := range ablationSet {

@@ -8,6 +8,7 @@ import (
 
 	"cfd/internal/classify"
 	"cfd/internal/config"
+	"cfd/internal/manifest"
 	"cfd/internal/prog"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
@@ -56,16 +57,14 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig1",
 		Title: "Fig 1: IPC and energy, real vs perfect branch prediction",
+		Manifest: expManifest("fig1", manifest.Sweep{
+			Workloads: implementing("cfd"),
+			Variants: []manifest.VariantExpr{
+				{Variant: "base"},
+				{Variant: "base", PerfectAll: true},
+			},
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFD) {
-				specs = append(specs,
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectAll: true})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 1a/1b: baseline vs perfect prediction",
 				"workload", "base IPC", "perfect IPC", "IPC gain", "energy saved")
 			for _, s := range withVariant(workload.CFD) {
@@ -88,14 +87,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig2a",
 		Title: "Fig 2a: misprediction breakdown by furthest memory level",
+		Manifest: expManifest("fig2a", manifest.Sweep{
+			Workloads: manifest.Selector{All: true},
+			Variants:  variants("base"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range workload.All() {
-				specs = append(specs, RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 2a: mispredicted branches by feeding memory level",
 				"workload", "NoData", "L1", "L2", "L3", "MEM", "MPKI")
 			for _, s := range workload.All() {
@@ -115,16 +111,15 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig2b",
 		Title: "Fig 2b: IPC vs window size, real vs perfect prediction (memory-fed workload)",
+		Manifest: expManifest("fig2b", manifest.Sweep{
+			Workloads: byNames("mcflike"),
+			Variants: []manifest.VariantExpr{
+				{Variant: "base"},
+				{Variant: "base", PerfectAll: true},
+			},
+			Configs: mutationsFor(config.WindowSweep()...),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, cfg := range config.WindowSweep() {
-				specs = append(specs,
-					RunSpec{Workload: "mcflike", Variant: workload.Base, Config: cfg},
-					RunSpec{Workload: "mcflike", Variant: workload.Base, Config: cfg, PerfectAll: true})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 2b: mcflike IPC scaling with window size",
 				"window", "real BP", "perfect BP")
 			for _, cfg := range config.WindowSweep() {
@@ -250,22 +245,14 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "table3",
 		Title: "Table III: CFD(BQ) and DFD instruction overheads",
+		Manifest: expManifest("table3", manifest.Sweep{
+			Workloads: manifest.Selector{Class: "separable", HasVariant: "cfd"},
+			Variants:  variants("base", "cfd", "cfd+", "dfd", "cfd+dfd"),
+		}),
+		// Tolerant: a failing variant renders as an "err" cell below, so a
+		// sweep error must not abort the table.
+		Tolerant: true,
 		Run: func(r *Runner, w io.Writer) error {
-			// Prefetch tolerantly: a failing variant renders as an "err"
-			// cell below, so a sweep error must not abort the table.
-			var specs []RunSpec
-			for _, s := range workload.CFDClass() {
-				if !s.HasVariant(workload.CFD) {
-					continue
-				}
-				specs = append(specs, RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
-				for _, v := range []workload.Variant{workload.CFD, workload.CFDPlus, workload.DFD, workload.CFDDFD} {
-					if s.HasVariant(v) {
-						specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
-					}
-				}
-			}
-			_ = r.Prefetch(specs...)
 			t := stats.NewTable("Table III: retired-instruction overhead factor vs base",
 				"workload", "cfd", "cfd+", "dfd", "cfd+dfd")
 			for _, s := range workload.CFDClass() {
@@ -296,17 +283,12 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "table4",
 		Title: "Table IV: CFD(TQ) instruction overheads",
+		Manifest: expManifest("table4", manifest.Sweep{
+			Workloads: implementing("cfdtq"),
+			Variants:  variants("base", "cfdtq", "cfdbq", "cfdbqtq"),
+		}),
+		Tolerant: true,
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFDTQ) {
-				specs = append(specs, RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()})
-				for _, v := range []workload.Variant{workload.CFDTQ, workload.CFDBQ, workload.CFDBQTQ} {
-					if s.HasVariant(v) {
-						specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
-					}
-				}
-			}
-			_ = r.Prefetch(specs...)
 			t := stats.NewTable("Table IV: TQ-variant overhead factor vs base",
 				"workload", "cfdtq", "cfdbq", "cfdbqtq")
 			for _, s := range withVariant(workload.CFDTQ) {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cfd/internal/config"
+	"cfd/internal/manifest"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
 )
@@ -21,19 +22,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig18",
 		Title: "Fig 18: performance and energy impact of CFD and CFD+",
+		Manifest: expManifest("fig18", manifest.Sweep{
+			Workloads: implementing("cfd"),
+			Variants:  variants("base", "cfd", "cfd+"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFD) {
-				specs = append(specs,
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
-				if s.HasVariant(workload.CFDPlus) {
-					specs = append(specs, RunSpec{Workload: s.Name, Variant: workload.CFDPlus, Config: config.SandyBridge()})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 18: CFD/CFD+ speedup and energy reduction vs base",
 				"workload", "cfd speedup", "cfd energy", "cfd+ speedup", "cfd+ energy")
 			var sp []float64
@@ -68,18 +61,16 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig19",
 		Title: "Fig 19: effective IPC — Base, CFD+, Base+PerfectCFD, PerfectPrediction",
+		Manifest: expManifest("fig19", manifest.Sweep{
+			Workloads: implementing("cfd"),
+			Variants: []manifest.VariantExpr{
+				{Variant: "base"},
+				{AnyOf: []string{"cfd+", "cfd"}},
+				{Variant: "base", PerfectCFD: true},
+				{Variant: "base", PerfectAll: true},
+			},
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFD) {
-				specs = append(specs,
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: bestCFD(s), Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectCFD: true},
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge(), PerfectAll: true})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 19: effective IPC comparison",
 				"workload", "base", "cfd", "base+perfectCFD", "perfect", "group")
 			for _, s := range withVariant(workload.CFD) {
@@ -117,16 +108,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig20",
 		Title: "Fig 20: fetched-instruction accounting (wrong-path reduction vs retired overhead)",
+		Manifest: expManifest("fig20", manifest.Sweep{
+			Workloads: implementing("cfd"),
+			Variants:  variants("base", "cfd"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFD) {
-				specs = append(specs,
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: workload.CFD, Config: config.SandyBridge()})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 20: fetched instructions normalized to base fetched",
 				"workload", "base retired", "base wrong-path", "cfd retired", "cfd wrong-path")
 			for _, s := range withVariant(workload.CFD) {
@@ -153,19 +139,16 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig21a",
 		Title: "Fig 21a: sensitivity to pipeline depth (fetch-to-execute)",
+		Manifest: expManifest("fig21a", manifest.Sweep{
+			Workloads: byNames("soplexlike", "mcflike", "bzip2like"),
+			Variants:  variants("base", "cfd"),
+			Configs: mutationsFor(
+				config.SandyBridge().WithDepth(5),
+				config.SandyBridge().WithDepth(10),
+				config.SandyBridge().WithDepth(15),
+				config.SandyBridge().WithDepth(20)),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
-				for _, d := range []int{5, 10, 15, 20} {
-					cfg := config.SandyBridge().WithDepth(d)
-					specs = append(specs,
-						RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
-						RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 21a: CFD speedup vs fetch-to-execute depth",
 				"workload", "depth 5", "depth 10", "depth 15", "depth 20")
 			for _, name := range []string{"soplexlike", "mcflike", "bzip2like"} {
@@ -193,19 +176,12 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig21b",
 		Title: "Fig 21b: CFD gains under larger instruction windows",
+		Manifest: expManifest("fig21b", manifest.Sweep{
+			Workloads: implementing("cfd"),
+			Variants:  variants("base", "cfd"),
+			Configs:   mutationsFor(config.Scaled(168), config.Scaled(256), config.Scaled(512)),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, rob := range []int{168, 256, 512} {
-				cfg := config.Scaled(rob)
-				for _, s := range withVariant(workload.CFD) {
-					specs = append(specs,
-						RunSpec{Workload: s.Name, Variant: workload.Base, Config: cfg},
-						RunSpec{Workload: s.Name, Variant: workload.CFD, Config: cfg})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 21b: geometric-mean CFD speedup per window",
 				"window", "gmean speedup")
 			for _, rob := range []int{168, 256, 512} {
@@ -232,20 +208,20 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig21c",
 		Title: "Fig 21c: speculative pop vs stall on a BQ miss",
+		Manifest: expManifest("fig21c",
+			manifest.Sweep{
+				Workloads: byNames("tifflike", "soplexlike", "mcflike", "bzip2like"),
+				Variants:  variants("base", "cfd"),
+			},
+			manifest.Sweep{
+				Workloads: byNames("tifflike", "soplexlike", "mcflike", "bzip2like"),
+				Variants:  variants("cfd"),
+				Configs:   []manifest.ConfigSet{{Set: map[string]any{"BQMissPolicy": "stall"}}},
+			}),
 		Run: func(r *Runner, w io.Writer) error {
 			stallCfg := config.SandyBridge()
 			stallCfg.BQMissPolicy = config.StallFetch
 			names := []string{"tifflike", "soplexlike", "mcflike", "bzip2like"}
-			var specs []RunSpec
-			for _, name := range names {
-				specs = append(specs,
-					RunSpec{Workload: name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: name, Variant: workload.CFD, Config: config.SandyBridge()},
-					RunSpec{Workload: name, Variant: workload.CFD, Config: stallCfg})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 21c: effective IPC, spec vs stall BQ-miss policy",
 				"workload", "base", "cfd (spec)", "cfd (stall)", "BQ miss rate")
 			for _, name := range names {
@@ -276,13 +252,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig22",
 		Title: "Fig 22: astar region #1 case study (source and behavior)",
+		Manifest: expManifest("fig22", manifest.Sweep{
+			Workloads: byNames("astar1like"),
+			Variants:  variants("base", "cfd"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			if err := r.Prefetch(
-				RunSpec{Workload: "astar1like", Variant: workload.Base, Config: config.SandyBridge()},
-				RunSpec{Workload: "astar1like", Variant: workload.CFD, Config: config.SandyBridge()},
-			); err != nil {
-				return err
-			}
 			s, _ := workload.ByName("astar1like")
 			for _, v := range []workload.Variant{workload.Base, workload.CFD} {
 				p, _, err := s.Build(v, 256)
@@ -308,18 +282,12 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig23",
 		Title: "Fig 23: effective IPC vs window size, base vs CFD (astar analogs)",
+		Manifest: expManifest("fig23", manifest.Sweep{
+			Workloads: byNames("astar1like", "mcflike"),
+			Variants:  variants("base", "cfd"),
+			Configs:   mutationsFor(config.WindowSweep()...),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, name := range []string{"astar1like", "mcflike"} {
-				for _, cfg := range config.WindowSweep() {
-					specs = append(specs,
-						RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
-						RunSpec{Workload: name, Variant: workload.CFD, Config: cfg})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 23: effective IPC across windows",
 				"workload", "window", "base", "cfd", "cfd speedup")
 			for _, name := range []string{"astar1like", "mcflike"} {
@@ -344,16 +312,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig24",
 		Title: "Fig 24: DFD vs CFD performance and energy",
+		Manifest: expManifest("fig24", manifest.Sweep{
+			Workloads: implementing("dfd"),
+			Variants:  variants("base", "cfd", "dfd"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.DFD) {
-				for _, v := range []workload.Variant{workload.Base, workload.CFD, workload.DFD} {
-					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 24: CFD vs DFD speedup and energy reduction",
 				"workload", "cfd speedup", "dfd speedup", "cfd energy", "dfd energy")
 			for _, s := range withVariant(workload.DFD) {
@@ -380,13 +343,14 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig25a",
 		Title: "Fig 25a: L1 MSHR utilization histogram, CFD vs DFD",
+		Manifest: expManifest("fig25a", manifest.Sweep{
+			Workloads: byNames("mcflike"),
+			Variants: []manifest.VariantExpr{
+				{Variant: "cfd", SampleMSHR: true},
+				{Variant: "dfd", SampleMSHR: true},
+			},
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			if err := r.Prefetch(
-				RunSpec{Workload: "mcflike", Variant: workload.CFD, Config: config.SandyBridge(), SampleMSHR: true},
-				RunSpec{Workload: "mcflike", Variant: workload.DFD, Config: config.SandyBridge(), SampleMSHR: true},
-			); err != nil {
-				return err
-			}
 			for _, v := range []workload.Variant{workload.CFD, workload.DFD} {
 				res, err := r.Run(RunSpec{Workload: "mcflike", Variant: v, Config: config.SandyBridge(), SampleMSHR: true})
 				if err != nil {
@@ -406,16 +370,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig25b",
 		Title: "Fig 25b: misprediction memory-level breakdown, base vs DFD",
+		Manifest: expManifest("fig25b", manifest.Sweep{
+			Workloads: byNames("mcflike", "astar1like", "soplexlike"),
+			Variants:  variants("base", "dfd"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, name := range []string{"mcflike", "astar1like", "soplexlike"} {
-				for _, v := range []workload.Variant{workload.Base, workload.DFD} {
-					specs = append(specs, RunSpec{Workload: name, Variant: v, Config: config.SandyBridge()})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 25b: mispredicts by feeding level",
 				"workload", "scheme", "NoData", "L1", "L2", "L3", "MEM")
 			for _, name := range []string{"mcflike", "astar1like", "soplexlike"} {
@@ -438,16 +397,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig26",
 		Title: "Fig 26: applying CFD and DFD simultaneously",
+		Manifest: expManifest("fig26", manifest.Sweep{
+			Workloads: implementing("cfd+dfd"),
+			Variants:  variants("base", "dfd", "cfd", "cfd+dfd"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFDDFD) {
-				for _, v := range []workload.Variant{workload.Base, workload.DFD, workload.CFD, workload.CFDDFD} {
-					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 26: speedup of DFD-only, CFD-only, and DFD+CFD",
 				"workload", "dfd", "cfd", "dfd+cfd")
 			for _, s := range withVariant(workload.CFDDFD) {
@@ -473,16 +427,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig27",
 		Title: "Fig 27: performance and energy impact of CFD(TQ)",
+		Manifest: expManifest("fig27", manifest.Sweep{
+			Workloads: implementing("cfdtq"),
+			Variants:  variants("base", "cfdtq"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFDTQ) {
-				specs = append(specs,
-					RunSpec{Workload: s.Name, Variant: workload.Base, Config: config.SandyBridge()},
-					RunSpec{Workload: s.Name, Variant: workload.CFDTQ, Config: config.SandyBridge()})
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 27: CFD(TQ) vs base",
 				"workload", "speedup", "energy saved", "TQ pops", "base MPKI", "tq MPKI")
 			for _, s := range withVariant(workload.CFDTQ) {
@@ -505,16 +454,11 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "fig28",
 		Title: "Fig 28: CFD(BQ), CFD(TQ), and CFD(BQ+TQ) combined",
+		Manifest: expManifest("fig28", manifest.Sweep{
+			Workloads: implementing("cfdbqtq"),
+			Variants:  variants("base", "cfdbq", "cfdtq", "cfdbqtq"),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
-			var specs []RunSpec
-			for _, s := range withVariant(workload.CFDBQTQ) {
-				for _, v := range []workload.Variant{workload.Base, workload.CFDBQ, workload.CFDTQ, workload.CFDBQTQ} {
-					specs = append(specs, RunSpec{Workload: s.Name, Variant: v, Config: config.SandyBridge()})
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("Fig 28: speedup and energy reduction per mechanism",
 				"workload", "cfdbq", "cfdtq", "cfdbqtq", "bqtq energy")
 			for _, s := range withVariant(workload.CFDBQTQ) {

@@ -11,9 +11,7 @@ package harness
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -28,6 +26,7 @@ import (
 	"cfd/internal/config"
 	"cfd/internal/emu"
 	"cfd/internal/fault"
+	"cfd/internal/manifest"
 	"cfd/internal/mem"
 	"cfd/internal/obs"
 	"cfd/internal/obs/journal"
@@ -96,6 +95,12 @@ type Runner struct {
 	// allocations on the per-spec path. Set before the Runner is shared
 	// between goroutines.
 	Journal *journal.Journal
+	// ManifestDigest, when non-empty, is the content digest of the
+	// manifest whose expansion drives this Runner's sweeps; the journal's
+	// sweep_start events carry it, tying the event stream back to the
+	// exact declaration that produced the campaign. Set before the Runner
+	// is shared between goroutines.
+	ManifestDigest string
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -226,30 +231,17 @@ func EffIPC(base, r *Result) float64 {
 // human-readable prefix names the run, and the trailing digest covers the
 // complete Config struct — so two specs differing in any configuration
 // detail, even one the Name does not encode, can never alias to one
-// cache or store entry.
+// cache or store entry. The format is defined by manifest.Spec.Key —
+// manifests are the single source of spec enumeration, so the identity
+// lives with the declarative layer — and the struct conversion is the
+// compile-time pin that RunSpec and manifest.Spec never drift apart.
 func (rs RunSpec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%v|%v|%v|%v|%d|cfg:%s", rs.Workload, rs.Variant,
-		rs.Config.Name, rs.Config.BQMissPolicy, rs.PerfectAll, rs.PerfectCFD, rs.SampleMSHR,
-		rs.SampleEvery, configDigest(rs.Config))
+	return manifest.Spec(rs).Key()
 }
 
 // Key is the exported form of the spec's deterministic identity, for
 // tools that journal runs outside a Runner (e.g. cfdsim -journal).
 func (rs RunSpec) Key() string { return rs.key() }
-
-// configDigest hashes the full Core configuration. The struct is plain
-// exported data (ints, bools, strings, nested value structs), so its JSON
-// encoding is canonical and the digest is deterministic across processes.
-func configDigest(cfg config.Core) string {
-	data, err := json.Marshal(cfg)
-	if err != nil {
-		// Core is marshalable by construction; a failure here means a
-		// future field broke that, which must not silently alias specs.
-		panic("harness: config digest: " + err.Error())
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:8])
-}
 
 // Run executes (or recalls) one simulation.
 func (r *Runner) Run(rs RunSpec) (*Result, error) {
@@ -397,8 +389,9 @@ func (r *Runner) watchdog() *fault.Watchdog {
 // finish, so tests can force specific interleavings (e.g. the sweep
 // cancellation race) deterministically. Nil in production.
 var (
-	testOnSimulate    func(RunSpec) // called at the top of simulate
-	testOnSweepCancel func()        // called after a failing spec cancels a sweep
+	testOnSimulate    func(RunSpec)   // called at the top of simulate
+	testOnSweepCancel func()          // called after a failing spec cancels a sweep
+	testOnSweepSpecs  func([]RunSpec) // called with every Sweep's spec list before work starts
 )
 
 // simulate performs the actual cycle-level run for rs (no caching). A panic
@@ -501,11 +494,70 @@ func (r *Runner) simulate(rs RunSpec) (res *Result, err error) {
 	}, nil
 }
 
-// Experiment regenerates one paper table or figure.
+// Experiment regenerates one paper table or figure. Its simulation needs
+// are declared, not coded: Manifest (when non-nil) is the single source
+// of the experiment's spec set, expanded and prefetched by RunExperiment
+// before Run assembles the rows; Run itself only replays memoized
+// lookups. Experiments with no registered-workload simulations (custom
+// programs, classification studies, static tables) have a nil Manifest.
 type Experiment struct {
 	ID    string // "fig18", "table1", ...
 	Title string
-	Run   func(r *Runner, w io.Writer) error
+	// Manifest declares the experiment's workload×variant×config spec
+	// set. The expansions are pinned against the legacy hand-written
+	// enumerations by testdata/specsets.
+	Manifest *manifest.Manifest
+	// Tolerant makes RunExperiment ignore prefetch failures (other than
+	// cancellation): the experiment's table renders failed cells as "err"
+	// or "-" instead of aborting (Tables III/IV sweep variants that may
+	// legitimately fault).
+	Tolerant bool
+	Run      func(r *Runner, w io.Writer) error
+}
+
+// Specs expands the experiment's embedded manifest into its RunSpec set,
+// sorted by spec key and duplicate-free. Experiments without a manifest
+// return nil.
+func (e *Experiment) Specs() ([]RunSpec, error) {
+	if e.Manifest == nil {
+		return nil, nil
+	}
+	return SpecsFromManifest(e.Manifest)
+}
+
+// SpecsFromManifest expands any manifest into harness RunSpecs. The
+// element-wise struct conversion is the compile-time pin that the two
+// spec types stay field-identical.
+func SpecsFromManifest(m *manifest.Manifest) ([]RunSpec, error) {
+	specs, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RunSpec, len(specs))
+	for i, sp := range specs {
+		out[i] = RunSpec(sp)
+	}
+	return out, nil
+}
+
+// RunExperiment expands the experiment's manifest, prefetches the spec
+// set across the worker pool, and then runs the experiment's assembly
+// phase. Tolerant experiments proceed to assembly even when some specs
+// faulted; cancellation always propagates so an interrupted sweep drains
+// instead of assembling partial tables.
+func (r *Runner) RunExperiment(e *Experiment, w io.Writer) error {
+	specs, err := e.Specs()
+	if err != nil {
+		return err
+	}
+	if len(specs) > 0 {
+		if err := r.Prefetch(specs...); err != nil {
+			if !e.Tolerant || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+		}
+	}
+	return e.Run(r, w)
 }
 
 var experiments = map[string]*Experiment{}

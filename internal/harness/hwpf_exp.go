@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cfd/internal/config"
+	"cfd/internal/manifest"
 	"cfd/internal/stats"
 	"cfd/internal/workload"
 )
@@ -24,22 +25,13 @@ func init() {
 	registerExp(&Experiment{
 		ID:    "ablation-hwpf",
 		Title: "Hardware next-line prefetcher vs DFD and CFD",
+		Manifest: expManifest("ablation-hwpf", manifest.Sweep{
+			Workloads: byNames("mcflike", "soplexlike", "astar1like"),
+			Variants:  variants("base", "dfd", "cfd"),
+			Configs:   mutationsFor(hwpfConfig(false), hwpfConfig(true)),
+		}),
 		Run: func(r *Runner, w io.Writer) error {
 			names := []string{"mcflike", "soplexlike", "astar1like"}
-			var specs []RunSpec
-			for _, name := range names {
-				for _, v := range []workload.Variant{workload.DFD, workload.CFD} {
-					for _, hwpf := range []bool{false, true} {
-						cfg := hwpfConfig(hwpf)
-						specs = append(specs,
-							RunSpec{Workload: name, Variant: workload.Base, Config: cfg},
-							RunSpec{Workload: name, Variant: v, Config: cfg})
-					}
-				}
-			}
-			if err := r.Prefetch(specs...); err != nil {
-				return err
-			}
 			t := stats.NewTable("speedup vs the matching baseline, with and without a HW next-line prefetcher",
 				"workload", "dfd (no hwpf)", "dfd (hwpf)", "cfd (no hwpf)", "cfd (hwpf)")
 			for _, name := range names {

@@ -49,7 +49,8 @@ func (r *Runner) beginSweep(total, jobs int) *sweepScope {
 		return nil
 	}
 	s := &sweepScope{r: r, seq: r.sweepSeq.Add(1), total: total}
-	r.Journal.Emit(journal.Event{Type: journal.SweepStart, Sweep: s.seq, Total: total, Jobs: jobs})
+	r.Journal.Emit(journal.Event{Type: journal.SweepStart, Sweep: s.seq, Total: total, Jobs: jobs,
+		Manifest: r.ManifestDigest})
 	return s
 }
 

@@ -1,0 +1,48 @@
+// Embedded-manifest helpers: the experiments declare their spec sets as
+// manifest sweeps (see Experiment.Manifest), and these constructors keep
+// those declarations as terse as the enumeration loops they replaced.
+// Derived configurations (window scalings, depth sweeps, policy studies)
+// are declared by diffing the constructor output against the baseline —
+// manifest.ConfigSetFrom — so the mutation sets match the config package
+// field for field by construction.
+package harness
+
+import (
+	"cfd/internal/config"
+	"cfd/internal/manifest"
+)
+
+// expManifest stamps one experiment's embedded manifest.
+func expManifest(name string, sweeps ...manifest.Sweep) *manifest.Manifest {
+	return manifest.New(name, sweeps...)
+}
+
+// byNames selects workloads by exact name.
+func byNames(names ...string) manifest.Selector {
+	return manifest.Selector{Names: names}
+}
+
+// implementing selects every workload implementing variant v.
+func implementing(v string) manifest.Selector {
+	return manifest.Selector{HasVariant: v}
+}
+
+// variants builds plain variant expressions from names.
+func variants(vs ...string) []manifest.VariantExpr {
+	out := make([]manifest.VariantExpr, len(vs))
+	for i, v := range vs {
+		out[i] = manifest.VariantExpr{Variant: v}
+	}
+	return out
+}
+
+// mutationsFor declares each config as its mutation set against the
+// paper's baseline.
+func mutationsFor(cfgs ...config.Core) []manifest.ConfigSet {
+	base := config.SandyBridge()
+	out := make([]manifest.ConfigSet, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = manifest.ConfigSetFrom(base, cfg)
+	}
+	return out
+}

@@ -399,3 +399,55 @@ func TestStoreKeyIncludesResolvedN(t *testing.T) {
 		t.Fatal("storeKey accepted an unknown workload")
 	}
 }
+
+// TestStoreSpecMismatchQuarantineNamesBothSpecs: when an entry's envelope
+// key matches but its decoded payload holds a different spec, the
+// quarantine reason names both spec keys — the one the payload holds and
+// the one the lookup wanted.
+func TestStoreSpecMismatchQuarantineNamesBothSpecs(t *testing.T) {
+	dir := testStore(t)
+	specs := persistSpecs()[:2]
+	a := openTestStore(t, dir)
+	if _, err := a.Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-plant: publish spec B's payload under spec A's store key. The
+	// envelope checks all pass (Put recomputes key and checksum); only the
+	// payload-level spec comparison can catch it.
+	skeyA, ok := a.storeKey(specs[0], specs[0].key())
+	if !ok {
+		t.Fatal("storeKey A")
+	}
+	skeyB, ok := a.storeKey(specs[1], specs[1].key())
+	if !ok {
+		t.Fatal("storeKey B")
+	}
+	payloadB, hit, err := a.Store.Get(skeyB)
+	if err != nil || !hit {
+		t.Fatalf("Get B: hit=%v err=%v", hit, err)
+	}
+	if err := a.Store.Put(skeyA, payloadB); err != nil {
+		t.Fatal(err)
+	}
+
+	b := openTestStore(t, dir)
+	if _, err := b.Run(specs[0]); err != nil {
+		t.Fatalf("run over cross-planted entry: %v", err)
+	}
+	if m := b.Store.Metrics(); m.Quarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1", m.Quarantines)
+	}
+	reasons, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.reason"))
+	if len(reasons) != 1 {
+		t.Fatalf("reason sidecars: %v", reasons)
+	}
+	data, err := os.ReadFile(reasons[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"holds " + specs[1].key(), "want " + specs[0].key()} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("reason %q missing %q", data, want)
+		}
+	}
+}

@@ -22,6 +22,9 @@ import (
 // unless the caller's own ctx was cancelled. The failures are collected by
 // Failures in deterministic order for the export document.
 func (r *Runner) Sweep(ctx context.Context, specs []RunSpec) ([]*Result, error) {
+	if h := testOnSweepSpecs; h != nil {
+		h(specs)
+	}
 	out := make([]*Result, len(specs))
 	jobs := r.jobs()
 	if jobs > len(specs) {

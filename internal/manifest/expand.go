@@ -1,0 +1,209 @@
+// Expansion: manifests to sorted, duplicate-free spec sets. The result
+// is a pure function of the manifest and the workload registry — no map
+// iteration order, job count, or process state leaks in — so expansion
+// is byte-identical across processes, which is what lets spec-key lists
+// serve as golden files and store/journal identities.
+package manifest
+
+import (
+	"fmt"
+	"sort"
+
+	"cfd/internal/config"
+	"cfd/internal/workload"
+)
+
+// Expand validates the manifest and expands every sweep's cross-product,
+// returning the union sorted by spec key with duplicates removed. A sweep
+// whose expansion is empty (selector matched nothing runnable) is an
+// error: a silently empty axis would report a converged campaign that
+// never ran.
+func (m *Manifest) Expand() ([]Spec, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	base := presets[m.Base]()
+	seen := map[string]Spec{}
+	for i, sw := range m.Sweeps {
+		n, err := sw.expand(base, seen)
+		if err != nil {
+			return nil, fmt.Errorf("manifest %s: sweep %d: %w", m.Name, i, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("manifest %s: sweep %d: expansion is empty (no selected workload implements any requested variant)", m.Name, i)
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	specs := make([]Spec, len(keys))
+	for i, k := range keys {
+		specs[i] = seen[k]
+	}
+	return specs, nil
+}
+
+// expand adds one sweep's cross-product to seen and reports how many
+// specs it contributed (duplicates included).
+func (sw *Sweep) expand(base config.Core, seen map[string]Spec) (int, error) {
+	wls, err := sw.Workloads.resolve()
+	if err != nil {
+		return 0, err
+	}
+	cfgs, err := sw.configs(base)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, wl := range wls {
+		for _, ve := range sw.Variants {
+			v, ok := ve.resolve(wl)
+			if !ok {
+				continue
+			}
+			for _, cfg := range cfgs {
+				sp := Spec{
+					Workload:    wl.Name,
+					Variant:     v,
+					Config:      cfg,
+					PerfectAll:  ve.PerfectAll,
+					PerfectCFD:  ve.PerfectCFD,
+					SampleMSHR:  ve.SampleMSHR,
+					SampleEvery: ve.SampleEvery,
+				}
+				seen[sp.Key()] = sp
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+// resolve returns the selected workloads, sorted by name.
+func (sel Selector) resolve() ([]*workload.Spec, error) {
+	var cands []*workload.Spec
+	if len(sel.Names) > 0 {
+		names := append([]string(nil), sel.Names...)
+		sort.Strings(names)
+		prev := ""
+		for _, name := range names {
+			if name == prev {
+				continue
+			}
+			prev = name
+			s, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("selector: unknown workload %q", name)
+			}
+			cands = append(cands, s)
+		}
+	} else {
+		cands = workload.All()
+	}
+	var out []*workload.Spec
+	for _, s := range cands {
+		if !sel.matchClass(s) {
+			continue
+		}
+		if sel.HasVariant != "" && !s.HasVariant(workload.Variant(sel.HasVariant)) {
+			continue
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("selector matched no workloads")
+	}
+	return out, nil
+}
+
+// matchClass applies the classification filter: "separable" keeps the
+// CFD-applicable classes (§II's class boundary), anything else must name
+// one class exactly.
+func (sel Selector) matchClass(s *workload.Spec) bool {
+	switch sel.Class {
+	case "":
+		return true
+	case "separable":
+		return s.Class.Separable()
+	default:
+		return s.Class.String() == sel.Class
+	}
+}
+
+// resolve picks the variant expression's variant for one workload, or
+// reports that the workload does not implement it.
+func (ve VariantExpr) resolve(s *workload.Spec) (workload.Variant, bool) {
+	if len(ve.AnyOf) > 0 {
+		for _, name := range ve.AnyOf {
+			if v := workload.Variant(name); s.HasVariant(v) {
+				return v, true
+			}
+		}
+		return "", false
+	}
+	v := workload.Variant(ve.Variant)
+	if !s.HasVariant(v) {
+		return "", false
+	}
+	return v, true
+}
+
+// configs expands the sweep's configuration list: explicit sets, an axes
+// cross-product, or (with neither) the base preset alone.
+func (sw *Sweep) configs(base config.Core) ([]config.Core, error) {
+	sets := sw.Configs
+	if len(sw.ConfigAxes) > 0 {
+		var err error
+		sets, err = crossAxes(sw.ConfigAxes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(sets) == 0 {
+		return []config.Core{base}, nil
+	}
+	out := make([]config.Core, len(sets))
+	for i, cs := range sets {
+		cfg, err := cs.Apply(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("config set %d: %w", i, err)
+		}
+		out[i] = cfg
+	}
+	return out, nil
+}
+
+// crossAxes merges one set from each axis into every combination. Two
+// axes mutating the same field path is an error: the collision would make
+// the merged value order-dependent.
+func crossAxes(axes [][]ConfigSet) ([]ConfigSet, error) {
+	out := []ConfigSet{{}}
+	for ai, axis := range axes {
+		if len(axis) == 0 {
+			return nil, fmt.Errorf("config axis %d is empty", ai)
+		}
+		var next []ConfigSet
+		for _, acc := range out {
+			for _, cs := range axis {
+				merged := ConfigSet{Set: map[string]any{}}
+				for p, v := range acc.Set {
+					merged.Set[p] = v
+				}
+				for p, v := range cs.Set {
+					if _, dup := merged.Set[p]; dup {
+						return nil, fmt.Errorf("config axis %d: path %q already set by an earlier axis", ai, p)
+					}
+					merged.Set[p] = v
+				}
+				next = append(next, merged)
+			}
+		}
+		out = next
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+package manifest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfd/internal/config"
+	"cfd/internal/workload"
+)
+
+// sweepAll is a minimal valid sweep for manifests under test.
+func sweepAll() Sweep {
+	return Sweep{Workloads: Selector{All: true}, Variants: []VariantExpr{{Variant: "base"}}}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"bad schema", `{"schema":"nope","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{"variant":"base"}]}]}`,
+			`schema "nope"`},
+		{"bad version", `{"schema":"cfd-manifest","version":99,"sweeps":[{"workloads":{"all":true},"variants":[{"variant":"base"}]}]}`,
+			"version 99"},
+		{"unknown field", `{"schema":"cfd-manifest","version":1,"sweps":[]}`,
+			"unknown field"},
+		{"unknown base", `{"schema":"cfd-manifest","version":1,"base":"alderlake","sweeps":[{"workloads":{"all":true},"variants":[{"variant":"base"}]}]}`,
+			`unknown base preset "alderlake"`},
+		{"no sweeps", `{"schema":"cfd-manifest","version":1,"sweeps":[]}`,
+			"no sweeps"},
+		{"empty selector", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{},"variants":[{"variant":"base"}]}]}`,
+			"empty workload selector"},
+		{"no variants", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true}}]}`,
+			"no variant expressions"},
+		{"unknown variant", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{"variant":"cdf"}]}]}`,
+			`unknown variant "cdf"`},
+		{"unknown anyOf variant", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{"anyOf":["cfd","cdf"]}]}]}`,
+			`unknown variant "cdf" in anyOf`},
+		{"variant and anyOf", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{"variant":"cfd","anyOf":["cfd"]}]}]}`,
+			"mutually exclusive"},
+		{"empty variant expr", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{}]}]}`,
+			"neither variant nor anyOf"},
+		{"unknown selector variant", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"hasVariant":"cdf"},"variants":[{"variant":"base"}]}]}`,
+			`unknown variant "cdf"`},
+		{"configs and axes", `{"schema":"cfd-manifest","version":1,"sweeps":[{"workloads":{"all":true},"variants":[{"variant":"base"}],"configs":[{}],"configAxes":[[{}]]}]}`,
+			"mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestExpandRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       *Manifest
+		wantErr string
+	}{
+		{"unknown workload",
+			New("t", Sweep{Workloads: Selector{Names: []string{"mcflik"}}, Variants: []VariantExpr{{Variant: "base"}}}),
+			`unknown workload "mcflik"`},
+		{"selector matches nothing",
+			New("t", Sweep{Workloads: Selector{Class: "no-such-class"}, Variants: []VariantExpr{{Variant: "base"}}}),
+			"matched no workloads"},
+		{"empty expansion",
+			// Every workload implements base but none implements cfdtq AND
+			// is named eclatlike... pick a workload/variant pair that never
+			// matches: eclatlike has no dfd variant.
+			New("t", Sweep{Workloads: Selector{Names: []string{"eclatlike"}}, Variants: []VariantExpr{{Variant: "dfd"}}}),
+			"expansion is empty"},
+		{"unknown config path",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"BQSizo": 64}}}
+				return sw
+			}()),
+			`unknown config path "BQSizo"`},
+		{"struct path",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"Cache": 1}}}
+				return sw
+			}()),
+			"names a struct"},
+		{"nested unknown path",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"Cache.L1.Nope": 1}}}
+				return sw
+			}()),
+			`no field "Nope"`},
+		{"type mismatch",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"BQSize": "big"}}}
+				return sw
+			}()),
+			"want integer"},
+		{"bad enum value",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"Predictor": "perceptron"}}}
+				return sw
+			}()),
+			`unknown config.PredictorKind value "perceptron"`},
+		{"invalid config",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.Configs = []ConfigSet{{Set: map[string]any{"FetchWidth": 0}}}
+				return sw
+			}()),
+			"config set 0"},
+		{"axis collision",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.ConfigAxes = [][]ConfigSet{
+					{{Set: map[string]any{"BQSize": 64}}},
+					{{Set: map[string]any{"BQSize": 32}}},
+				}
+				return sw
+			}()),
+			"already set by an earlier axis"},
+		{"empty axis",
+			New("t", func() Sweep {
+				sw := sweepAll()
+				sw.ConfigAxes = [][]ConfigSet{{}}
+				return sw
+			}()),
+			"axis 0 is empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.m.Expand()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Expand error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEveryLeafPathIsSettable is the reflective coverage pin (the manifest
+// layer's analog of the harness's key-coverage pin): every leaf of
+// config.Core must be reachable and mutable through a ConfigSet, and the
+// mutation must round-trip through ConfigSetFrom. A new Core field passes
+// automatically; a field the mutation layer cannot set fails here.
+func TestEveryLeafPathIsSettable(t *testing.T) {
+	base := config.SandyBridge()
+	for _, path := range LeafPaths() {
+		// Resolve the leaf to derive a value different from the base's.
+		v := reflect.ValueOf(base)
+		for _, seg := range strings.Split(path, ".") {
+			v = v.FieldByName(seg)
+		}
+		var val any
+		switch v.Kind() {
+		case reflect.String:
+			val = v.String() + "x"
+		case reflect.Bool:
+			val = !v.Bool()
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			val = v.Int() + 1
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if _, isEnum := enumValues[v.Type()]; isEnum {
+				// Flip to a different registered enum value by ordinal.
+				val = int64((v.Uint() + 1) % uint64(len(enumValues[v.Type()])))
+			} else {
+				val = v.Uint() + 1
+			}
+		default:
+			t.Fatalf("%s: unsupported leaf kind %s — extend the mutation layer", path, v.Kind())
+		}
+		mutated, err := (ConfigSet{Set: map[string]any{path: val}}).Apply(base)
+		if err != nil {
+			t.Errorf("%s: Apply: %v", path, err)
+			continue
+		}
+		if mutated == base {
+			t.Errorf("%s: mutation did not change the config", path)
+			continue
+		}
+		// Round-trip: diffing base→mutated must rediscover exactly this path.
+		diff := ConfigSetFrom(base, mutated)
+		if len(diff.Set) != 1 {
+			t.Errorf("%s: ConfigSetFrom found %d paths (%v), want 1", path, len(diff.Set), diff.Set)
+			continue
+		}
+		if _, ok := diff.Set[path]; !ok {
+			t.Errorf("%s: ConfigSetFrom found %v instead", path, diff.Set)
+		}
+	}
+}
+
+// TestConfigSetFromReproducesConstructors: the derived-config constructors
+// the experiments use must round-trip exactly through mutation sets — the
+// property that lets embedded manifests replace the hand-written loops.
+func TestConfigSetFromReproducesConstructors(t *testing.T) {
+	base := config.SandyBridge()
+	targets := map[string]config.Core{
+		"scaled-512": config.Scaled(512),
+		"depth-15":   base.WithDepth(15),
+		"stall": func() config.Core {
+			c := base
+			c.BQMissPolicy = config.StallFetch
+			return c
+		}(),
+		"gshare": func() config.Core {
+			c := base
+			c.Predictor = config.PredGshare
+			c.Name = "pred-gshare"
+			return c
+		}(),
+	}
+	for name, target := range targets {
+		cs := ConfigSetFrom(base, target)
+		got, err := cs.Apply(base)
+		if err != nil {
+			t.Errorf("%s: Apply: %v", name, err)
+			continue
+		}
+		if got != target {
+			t.Errorf("%s: round trip diverges\nset:  %v\ngot:  %+v\nwant: %+v", name, cs.Set, got, target)
+		}
+		if ConfigDigest(got) != ConfigDigest(target) {
+			t.Errorf("%s: config digests differ after round trip", name)
+		}
+	}
+	// Identity: no mutations, empty set.
+	if cs := ConfigSetFrom(base, base); len(cs.Set) != 0 {
+		t.Errorf("ConfigSetFrom(base, base) = %v, want empty", cs.Set)
+	}
+}
+
+// TestEnumStringsAccepted: enum leaves accept their registered string
+// forms, and ConfigSetFrom renders them back as strings.
+func TestEnumStringsAccepted(t *testing.T) {
+	base := config.SandyBridge()
+	got, err := (ConfigSet{Set: map[string]any{
+		"Predictor":    "gshare",
+		"BQMissPolicy": "stall",
+	}}).Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predictor != config.PredGshare || got.BQMissPolicy != config.StallFetch {
+		t.Fatalf("enum strings applied wrong: %+v", got)
+	}
+	diff := ConfigSetFrom(base, got)
+	if diff.Set["Predictor"] != "gshare" || diff.Set["BQMissPolicy"] != "stall" {
+		t.Fatalf("ConfigSetFrom renders enums as %v, want string forms", diff.Set)
+	}
+}
+
+func TestExpandCrossProductAndDedup(t *testing.T) {
+	m := New("t",
+		Sweep{
+			Workloads: Selector{Names: []string{"mcflike", "soplexlike"}},
+			Variants:  []VariantExpr{{Variant: "base"}, {Variant: "cfd"}},
+			ConfigAxes: [][]ConfigSet{
+				{{Set: map[string]any{"BQSize": 128}}, {Set: map[string]any{"BQSize": 64}}},
+				{{}, {Set: map[string]any{"BQMissPolicy": "stall"}}},
+			},
+		},
+		// Second sweep entirely duplicates a slice of the first.
+		Sweep{
+			Workloads: Selector{Names: []string{"mcflike"}},
+			Variants:  []VariantExpr{{Variant: "base"}},
+			Configs:   []ConfigSet{{Set: map[string]any{"BQSize": 128}}},
+		})
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 variants x (2x2 axes) = 16; the duplicate adds none.
+	if len(specs) != 16 {
+		t.Fatalf("expanded %d specs, want 16", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Key() >= specs[i].Key() {
+			t.Fatalf("specs not strictly sorted at %d: %q >= %q", i, specs[i-1].Key(), specs[i].Key())
+		}
+	}
+}
+
+func TestAnyOfPicksFirstSupported(t *testing.T) {
+	m := New("t", Sweep{
+		// eclatlike implements cfd+; bzip2like does not.
+		Workloads: Selector{Names: []string{"eclatlike", "bzip2like"}},
+		Variants:  []VariantExpr{{AnyOf: []string{"cfd+", "cfd"}}},
+	})
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]workload.Variant{}
+	for _, sp := range specs {
+		got[sp.Workload] = sp.Variant
+	}
+	if got["eclatlike"] != workload.CFDPlus || got["bzip2like"] != workload.CFD {
+		t.Fatalf("anyOf resolution: %v", got)
+	}
+}
+
+func TestSkipUnsupportedVariants(t *testing.T) {
+	// bzip2like implements only base and cfd: the dfd expression
+	// contributes nothing for it, without erroring (the sweep as a whole
+	// is non-empty).
+	m := New("t", Sweep{
+		Workloads: Selector{Names: []string{"bzip2like", "mcflike"}},
+		Variants:  []VariantExpr{{Variant: "base"}, {Variant: "dfd"}},
+	})
+	specs, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.Workload == "bzip2like" && sp.Variant == workload.DFD {
+			t.Fatalf("bzip2like expanded an unimplemented dfd variant")
+		}
+	}
+	if len(specs) != 3 { // bzip2like/base, mcflike/base, mcflike/dfd
+		t.Fatalf("expanded %d specs, want 3", len(specs))
+	}
+}
+
+func TestDigestStability(t *testing.T) {
+	a := New("t", sweepAll())
+	b := New("t", sweepAll())
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal manifests digest differently")
+	}
+	c := New("t", Sweep{Workloads: Selector{All: true}, Variants: []VariantExpr{{Variant: "cfd"}}})
+	if a.Digest() == c.Digest() {
+		t.Fatal("different manifests share a digest")
+	}
+}
+
+// TestParseRoundTrip: a JSON manifest expands identically to the same
+// manifest built in Go — file-driven and embedded sweeps share one
+// semantics.
+func TestParseRoundTrip(t *testing.T) {
+	doc := `{
+	  "schema": "cfd-manifest", "version": 1, "name": "rt",
+	  "sweeps": [{
+	    "workloads": {"hasVariant": "cfd"},
+	    "variants": [{"variant": "base"}, {"variant": "cfd"}],
+	    "configs": [{"set": {"BQSize": 64, "Predictor": "gshare"}}]
+	  }]
+	}`
+	parsed, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := New("rt", Sweep{
+		Workloads: Selector{HasVariant: "cfd"},
+		Variants:  []VariantExpr{{Variant: "base"}, {Variant: "cfd"}},
+		Configs:   []ConfigSet{{Set: map[string]any{"BQSize": 64, "Predictor": "gshare"}}},
+	})
+	ps, err := parsed.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := built.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(bs) {
+		t.Fatalf("parsed expands %d specs, built %d", len(ps), len(bs))
+	}
+	for i := range ps {
+		if ps[i] != bs[i] {
+			t.Fatalf("spec %d: parsed %q != built %q", i, ps[i].Key(), bs[i].Key())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Reflective config mutation: the typed field-path layer ConfigSets are
+// built on. A path is a dot-joined chain of exported field names into
+// config.Core ("BQSize", "Cache.L1.SizeKB"); the leaf kinds are the
+// scalar kinds Core is built from (string, bool, signed and unsigned
+// integers, and the two enum types, which also accept their string
+// forms). Unknown paths and type mismatches are hard errors — a typo in
+// a sweep declaration must never silently expand to the base config.
+package manifest
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"cfd/internal/config"
+)
+
+// enumValues maps the enum leaf types to their accepted string forms.
+// Registering an enum here is what lets manifests write "gshare" instead
+// of a bare ordinal; plain numbers are accepted too.
+var enumValues = map[reflect.Type]map[string]uint64{
+	reflect.TypeOf(config.PredictorKind(0)): {
+		config.PredISLTAGE.String(): uint64(config.PredISLTAGE),
+		config.PredGshare.String():  uint64(config.PredGshare),
+		config.PredBimodal.String(): uint64(config.PredBimodal),
+	},
+	reflect.TypeOf(config.BQMissPolicy(0)): {
+		config.SpecPop.String():    uint64(config.SpecPop),
+		config.StallFetch.String(): uint64(config.StallFetch),
+	},
+}
+
+// Apply returns base with every mutation in the set applied. The paths
+// are applied in sorted order, so error reporting is deterministic.
+func (cs ConfigSet) Apply(base config.Core) (config.Core, error) {
+	cfg := base
+	paths := make([]string, 0, len(cs.Set))
+	for p := range cs.Set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := setPath(&cfg, p, cs.Set[p]); err != nil {
+			return config.Core{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// setPath resolves one dotted field path inside cfg and assigns val.
+func setPath(cfg *config.Core, path string, val any) error {
+	v := reflect.ValueOf(cfg).Elem()
+	for _, seg := range strings.Split(path, ".") {
+		if v.Kind() != reflect.Struct {
+			return fmt.Errorf("manifest: config path %q: %q is not a struct", path, seg)
+		}
+		f := v.FieldByName(seg)
+		if !f.IsValid() {
+			return fmt.Errorf("manifest: unknown config path %q: no field %q in %s", path, seg, v.Type())
+		}
+		v = f
+	}
+	if v.Kind() == reflect.Struct {
+		return fmt.Errorf("manifest: config path %q names a struct, not a leaf field", path)
+	}
+	return setLeaf(v, path, val)
+}
+
+// setLeaf assigns val (a Go literal or a JSON-decoded value) to the leaf
+// field f, converting through the enum registry where applicable.
+func setLeaf(f reflect.Value, path string, val any) error {
+	if vals, ok := enumValues[f.Type()]; ok {
+		if s, isStr := val.(string); isStr {
+			n, known := vals[s]
+			if !known {
+				return fmt.Errorf("manifest: config path %q: unknown %s value %q", path, f.Type(), s)
+			}
+			f.SetUint(n)
+			return nil
+		}
+	}
+	switch f.Kind() {
+	case reflect.String:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("manifest: config path %q: want string, got %T", path, val)
+		}
+		f.SetString(s)
+	case reflect.Bool:
+		b, ok := val.(bool)
+		if !ok {
+			return fmt.Errorf("manifest: config path %q: want bool, got %T", path, val)
+		}
+		f.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := asInt64(val)
+		if err != nil {
+			return fmt.Errorf("manifest: config path %q: %w", path, err)
+		}
+		if f.OverflowInt(n) {
+			return fmt.Errorf("manifest: config path %q: %d overflows %s", path, n, f.Type())
+		}
+		f.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := asInt64(val)
+		if err != nil {
+			return fmt.Errorf("manifest: config path %q: %w", path, err)
+		}
+		if n < 0 || f.OverflowUint(uint64(n)) {
+			return fmt.Errorf("manifest: config path %q: %d out of range for %s", path, n, f.Type())
+		}
+		f.SetUint(uint64(n))
+	default:
+		return fmt.Errorf("manifest: config path %q: unsupported leaf kind %s", path, f.Kind())
+	}
+	return nil
+}
+
+// asInt64 accepts the integer encodings a mutation value arrives as: Go
+// int literals from embedded manifests, float64 from decoded JSON.
+func asInt64(val any) (int64, error) {
+	switch n := val.(type) {
+	case int:
+		return int64(n), nil
+	case int64:
+		return n, nil
+	case uint64:
+		return int64(n), nil
+	case float64:
+		if n != float64(int64(n)) {
+			return 0, fmt.Errorf("want integer, got %v", n)
+		}
+		return int64(n), nil
+	default:
+		return 0, fmt.Errorf("want integer, got %T", val)
+	}
+}
+
+// LeafPaths returns every mutable field path of config.Core in sorted
+// order — the complete mutation surface, which the tests pin against the
+// struct reflectively (like the harness key-coverage pin) so a new Core
+// field is automatically reachable from manifests.
+func LeafPaths() []string {
+	var paths []string
+	var walk func(t reflect.Type, prefix string)
+	walk = func(t reflect.Type, prefix string) {
+		for i := 0; i < t.NumField(); i++ {
+			ft := t.Field(i)
+			p := ft.Name
+			if prefix != "" {
+				p = prefix + "." + ft.Name
+			}
+			if ft.Type.Kind() == reflect.Struct {
+				walk(ft.Type, p)
+				continue
+			}
+			paths = append(paths, p)
+		}
+	}
+	walk(reflect.TypeOf(config.Core{}), "")
+	sort.Strings(paths)
+	return paths
+}
+
+// ConfigSetFrom returns the mutation set that transforms base into
+// target: one entry per differing leaf, enums rendered in their string
+// forms. It is how the harness's embedded manifests declare derived
+// configurations (window scalings, depth sweeps, policy studies) with
+// exact field-level equality to the constructors that define them.
+func ConfigSetFrom(base, target config.Core) ConfigSet {
+	set := map[string]any{}
+	bv, tv := reflect.ValueOf(base), reflect.ValueOf(target)
+	var walk func(b, t reflect.Value, prefix string)
+	walk = func(b, t reflect.Value, prefix string) {
+		for i := 0; i < b.NumField(); i++ {
+			ft := b.Type().Field(i)
+			p := ft.Name
+			if prefix != "" {
+				p = prefix + "." + ft.Name
+			}
+			bf, tf := b.Field(i), t.Field(i)
+			if ft.Type.Kind() == reflect.Struct {
+				walk(bf, tf, p)
+				continue
+			}
+			if bf.Interface() == tf.Interface() {
+				continue
+			}
+			set[p] = leafValue(tf)
+		}
+	}
+	walk(bv, tv, "")
+	return ConfigSet{Set: set}
+}
+
+// leafValue renders one leaf for a mutation set: enum types as their
+// registered string form, everything else as its Go value.
+func leafValue(f reflect.Value) any {
+	if vals, ok := enumValues[f.Type()]; ok {
+		n := f.Uint()
+		for s, v := range vals {
+			if v == n {
+				return s
+			}
+		}
+	}
+	switch f.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return f.Uint()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return f.Int()
+	default:
+		return f.Interface()
+	}
+}

@@ -116,6 +116,10 @@ type Event struct {
 	// setting, not simulation content): stripped by SortedReplay.
 	Jobs  int `json:"jobs,omitempty"`
 	Total int `json:"total,omitempty"`
+	// Manifest is the content digest of the experiment manifest whose
+	// expansion this sweep runs (sweep_start, -manifest runs only) —
+	// the provenance link from journal to declaration.
+	Manifest string `json:"manifest,omitempty"`
 
 	// Sweep terminal counts (sweep_finish, journal_close).
 	Completed int `json:"completed,omitempty"`

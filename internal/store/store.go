@@ -303,7 +303,9 @@ func (s *Store) verify(key string, data []byte) string {
 	case env.Version != Version:
 		return fmt.Sprintf("envelope version %d, want %d", env.Version, Version)
 	case env.Key != key:
-		return fmt.Sprintf("key mismatch: entry for %q", env.Key)
+		// Both sides: what the entry claims to hold and what the lookup
+		// wanted, so a sidecar alone diagnoses a renamed or aliased key.
+		return fmt.Sprintf("key mismatch: entry for %q, want %q", env.Key, key)
 	case env.PayloadSchema != s.payloadSchema:
 		return fmt.Sprintf("payload schema %q, want %q", env.PayloadSchema, s.payloadSchema)
 	case env.PayloadVersion != s.payloadVersion:

@@ -386,3 +386,32 @@ func TestHooksAndMetrics(t *testing.T) {
 		t.Errorf("probe snapshot: %v", snap)
 	}
 }
+
+// TestKeyMismatchReasonNamesBothKeys: the .reason sidecar for a key
+// mismatch records both sides — the key the entry claims and the key the
+// lookup wanted — so the sidecar alone diagnoses an aliased or renamed
+// entry without replaying the access.
+func TestKeyMismatchReasonNamesBothKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put("k", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, "k", "key-mismatch")
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	reasons, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.reason"))
+	if len(reasons) != 1 {
+		t.Fatalf("reason sidecars: %v", reasons)
+	}
+	data, err := os.ReadFile(reasons[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`entry for "imposter"`, `want "k"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("reason %q missing %q", data, want)
+		}
+	}
+}
